@@ -1,0 +1,75 @@
+"""Fig. 5 — ISx weak scaling on Titan (paper §III-B).
+
+Series: Flat OpenSHMEM (process per core), OpenSHMEM+OpenMP hybrid (process
+per node), and HiPER/AsyncSHMEM. Weak scaling: keys per PE constant, so a
+hybrid PE carries cores-per-node times a flat PE's keys.
+
+Expected shape (paper): flat competitive at small node counts, then collapses
+at large scale as every core-rank joins the global all-to-all (per-node NIC
+incast); the hybrids stay flat; HiPER tracks the hybrid reference.
+
+Workload scaling (DESIGN.md §2): keys arrays are small in memory; compute
+and wire costs are charged at ``byte_scale`` times the carried size, mapping
+to the paper's 2^29-keys/PE configuration.
+"""
+
+from repro.apps.isx import IsxConfig, isx_main, validate_isx
+from repro.bench import Series, cluster_for, sweep
+from repro.distrib import spmd_run
+from repro.platform import machine
+from repro.shmem import shmem_factory
+
+NODES = [1, 2, 4, 8, 16, 32]
+KEYS_FLAT = 1 << 11
+BYTE_SCALE = 1 << 7
+CORES = machine("titan").cores  # 16
+
+
+def _flat(nodes):
+    cfg = IsxConfig(keys_per_pe=KEYS_FLAT, byte_scale=BYTE_SCALE)
+    res = spmd_run(
+        isx_main("flat", cfg), cluster_for("titan", nodes, layout="flat"),
+        module_factories=[shmem_factory(direct=True)],
+    )
+    validate_isx(cfg, res.nranks, res.results)
+    return res
+
+
+def _hybrid(variant):
+    def run(nodes):
+        cfg = IsxConfig(keys_per_pe=KEYS_FLAT * CORES, byte_scale=BYTE_SCALE)
+        res = spmd_run(
+            isx_main(variant, cfg),
+            cluster_for("titan", nodes, layout="hybrid"),
+            module_factories=[shmem_factory()],
+        )
+        validate_isx(cfg, res.nranks, res.results)
+        return res
+
+    return run
+
+
+def test_fig5_isx_weak_scaling(sweep_runner):
+    sw = sweep_runner(lambda: sweep(
+        "Fig 5 — ISx weak scaling (Titan), time per sort",
+        [
+            Series("flat_openshmem", _flat),
+            Series("shmem_omp_hybrid", _hybrid("hybrid")),
+            Series("hiper_asyncshmem", _hybrid("hiper")),
+        ],
+        NODES,
+    ))
+    flat = sw.values["flat_openshmem"]
+    hybrid = sw.values["shmem_omp_hybrid"]
+    hiper = sw.values["hiper_asyncshmem"]
+    # paper shape: flat competitive at small node counts...
+    assert flat[1] < hybrid[1] * 1.6
+    assert flat[2] < hybrid[2] * 1.6
+    # ...collapses at the largest scale,
+    assert flat[NODES[-1]] > 2.0 * hybrid[NODES[-1]]
+    # hybrids weak-scale once communication exists (2+ nodes; the 1-node
+    # point is network-free),
+    assert hybrid[NODES[-1]] < hybrid[2] * 2
+    # and HiPER tracks the hybrid reference.
+    for n in NODES:
+        assert 0.5 < hiper[n] / hybrid[n] < 2.0

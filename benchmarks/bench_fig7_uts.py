@@ -1,0 +1,59 @@
+"""Fig. 7 — UTS strong scaling (paper §III-C1).
+
+Series: OpenSHMEM+OpenMP (lock-based distributed balancing),
+OpenSHMEM+OpenMP Tasks (coarse-grain taskwait rounds), and HiPER/AsyncSHMEM.
+Strong scaling: one T1XXL-shaped geometric tree (scaled, DESIGN.md §2)
+searched by growing node counts.
+
+Expected shape (paper): all three comparable at small scale;
+OpenSHMEM+OpenMP degrades as lock contention from distributed balancing
+grows; the Tasks variant trails HiPER due to its coarse synchronization;
+HiPER scales best.
+"""
+
+from repro.apps.uts import UtsConfig, sequential_count, uts_main
+from repro.bench import Series, cluster_for, sweep
+from repro.distrib import spmd_run
+from repro.shmem import shmem_factory
+
+NODES = [1, 2, 4, 8, 16, 32]
+CFG = UtsConfig(root_children=3000, mean_children=0.97, seed=1,
+                node_cost=2e-6)
+_ORACLE = sequential_count(CFG)
+
+
+def _variant(name):
+    def run(nodes):
+        res = spmd_run(
+            uts_main(name, CFG), cluster_for("titan", nodes, layout="hybrid"),
+            module_factories=[shmem_factory()],
+        )
+        total = sum(res.results)
+        assert total == _ORACLE, f"{name}@{nodes}: {total} != {_ORACLE}"
+        return res
+
+    return run
+
+
+def test_fig7_uts_strong_scaling(sweep_runner):
+    sw = sweep_runner(lambda: sweep(
+        f"Fig 7 — UTS strong scaling (tree={_ORACLE} nodes), execution time",
+        [
+            Series("shmem_omp", _variant("shmem_omp")),
+            Series("omp_tasks", _variant("omp_tasks")),
+            Series("hiper_asyncshmem", _variant("hiper")),
+        ],
+        NODES,
+    ))
+    omp = sw.values["shmem_omp"]
+    tasks = sw.values["omp_tasks"]
+    hiper = sw.values["hiper_asyncshmem"]
+    last = NODES[-1]
+    # paper shape: comparable at small scale...
+    assert 0.5 < omp[1] / hiper[1] < 2.0
+    # ...lock-based balancing degrades relative to HiPER at scale,
+    assert omp[last] > hiper[last] * 1.1
+    # and HiPER is the best (or ties) at the largest point.
+    assert hiper[last] <= min(omp[last], tasks[last]) * 1.05
+    # HiPER keeps strong-scaling further than the lock-based reference:
+    assert hiper[last] < hiper[1]

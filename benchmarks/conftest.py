@@ -1,0 +1,28 @@
+"""Shared configuration for the figure benchmarks.
+
+Every benchmark wraps ONE full sweep (pytest-benchmark's wall time measures
+the simulation cost, not the science); the scientific output is the virtual-
+time table printed to stdout and attached to ``extra_info``.
+"""
+
+import pytest
+
+
+def run_sweep_once(benchmark, sweep_fn):
+    """Run ``sweep_fn`` exactly once under pytest-benchmark, print its table,
+    attach the series to extra_info, and return it."""
+    result_box = {}
+
+    def _target():
+        result_box["sweep"] = sweep_fn()
+
+    benchmark.pedantic(_target, rounds=1, iterations=1)
+    sw = result_box["sweep"]
+    print("\n" + sw.table())
+    benchmark.extra_info.update(sw.flat())
+    return sw
+
+
+@pytest.fixture
+def sweep_runner(benchmark):
+    return lambda sweep_fn: run_sweep_once(benchmark, sweep_fn)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""The paper's §II-D walkthrough: one stencil application, three compositions.
+
+Runs the GEO 3-D stencil on a simulated 4-node Titan partition three ways —
+MPI+OpenMP, hand-coded MPI+CUDA (blocking transfers), and the HiPER
+future-based composition — validates that all three produce bit-identical
+fields, and prints the virtual-time comparison that motivates Fig. 6.
+
+Run:  python examples/stencil_geo.py
+"""
+
+import numpy as np
+
+from repro.apps.geo import GeoConfig, check_result, geo_main
+from repro.cuda import cuda_factory
+from repro.distrib import ClusterConfig, spmd_run
+from repro.mpi import mpi_factory
+from repro.net import network
+from repro.platform import machine
+
+
+def main() -> None:
+    cfg = GeoConfig(nx=32, ny=32, nz=24, timesteps=5)
+    cluster = ClusterConfig(
+        nodes=4, ranks_per_node=1, workers_per_rank=16,
+        machine=machine("titan"), network=network("gemini"),
+    )
+    print(f"GEO stencil: {cfg.nx}x{cfg.ny}x{cfg.nz * 4} global grid, "
+          f"{cfg.timesteps} timesteps, 4 Titan nodes\n")
+
+    times = {}
+    fields = {}
+    for variant in ("mpi_omp", "mpi_cuda", "hiper"):
+        res = spmd_run(
+            geo_main(variant, cfg), cluster,
+            module_factories=[mpi_factory(), cuda_factory()],
+        )
+        check_result(cfg, res.results)  # bit-exact vs the serial oracle
+        times[variant] = res.makespan * 1e3
+        fields[variant] = np.concatenate(res.results, axis=0)
+        stats = res.merged_stats()
+        print(f"{variant:>9s}: {times[variant]:8.4f} ms | "
+              f"mpi ops: {stats.counter('mpi', 'isend') + stats.counter('mpi', 'send')} sends | "
+              f"cuda kernels: {stats.counter('cuda', 'kernel') + stats.counter('cuda', 'kernel_await')} | "
+              f"messages: {res.fabric.messages_sent}")
+
+    assert np.array_equal(fields["mpi_omp"], fields["hiper"])
+    gain = (times["mpi_cuda"] - times["hiper"]) / times["mpi_cuda"] * 100
+    print(f"\nall variants agree bit-for-bit with the serial reference")
+    print(f"HiPER vs hand-coded MPI+CUDA: {gain:.1f}% faster "
+          "(the paper's Fig. 6 effect: no blocking cudaMemcpy in the "
+          "critical path)")
+
+
+if __name__ == "__main__":
+    main()

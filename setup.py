@@ -1,0 +1,7 @@
+"""Shim for environments without the `wheel` package, where PEP-517 editable
+installs fail (`pip install -e . --no-build-isolation --no-use-pep517` uses
+this instead). All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

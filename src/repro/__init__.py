@@ -1,0 +1,87 @@
+"""pyhiper — a Python reproduction of HiPER: a Highly Pluggable, Extensible,
+and Re-configurable scheduling framework for HPC (Grossman et al., IPDPSW'17).
+
+Quick tour::
+
+    from repro import (SimExecutor, HiperRuntime, discover, machine,
+                       async_, async_future, finish)
+
+    model = discover(machine("workstation"), num_workers=4)
+    ex = SimExecutor()
+    rt = HiperRuntime(model, ex).start()
+
+    def main():
+        futs = [async_future(lambda i=i: i * i, cost=1e-3) for i in range(8)]
+        return sum(f.get() for f in futs)
+
+    print(rt.run(main), ex.makespan())
+
+See DESIGN.md for the paper-to-package map and EXPERIMENTS.md for the
+reproduced evaluation.
+"""
+
+from repro.exec import Executor, SimExecutor, ThreadedExecutor
+from repro.io import CheckpointModule, SimStore
+from repro.modules import HiperModule, create_module, register_module_class
+from repro.platform import (
+    MACHINES,
+    MachineSpec,
+    Place,
+    PlaceType,
+    PlatformModel,
+    WorkerPaths,
+    discover,
+    machine,
+    make_paths,
+)
+from repro.runtime import (
+    FinishScope,
+    Future,
+    HiperRuntime,
+    PollingService,
+    Promise,
+    Task,
+    TaskGroupError,
+    async_,
+    async_at,
+    async_await,
+    async_copy,
+    async_copy_await,
+    async_future,
+    async_future_await,
+    begin_finish,
+    charge,
+    current_runtime,
+    end_finish,
+    finish,
+    forasync,
+    forasync_chunked,
+    forasync_future,
+    now,
+    satisfied_future,
+    timer_future,
+    when_all,
+    when_any,
+    yield_now,
+)
+from repro.tools import TraceRecorder
+from repro.util import DeadlockError, HiperError, RngFactory, RuntimeStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Executor", "SimExecutor", "ThreadedExecutor",
+    "HiperModule", "create_module", "register_module_class",
+    "MACHINES", "MachineSpec", "Place", "PlaceType", "PlatformModel",
+    "WorkerPaths", "discover", "machine", "make_paths",
+    "FinishScope", "Future", "HiperRuntime", "PollingService", "Promise",
+    "Task", "TaskGroupError",
+    "async_", "async_at", "async_await", "async_copy", "async_copy_await",
+    "async_future", "async_future_await", "begin_finish", "charge",
+    "current_runtime", "end_finish", "finish", "forasync",
+    "forasync_chunked", "forasync_future", "now", "satisfied_future",
+    "timer_future", "when_all", "when_any", "yield_now",
+    "DeadlockError", "HiperError", "RngFactory", "RuntimeStats",
+    "CheckpointModule", "SimStore", "TraceRecorder",
+    "__version__",
+]

@@ -1,0 +1,3 @@
+"""Benchmark applications from the paper's evaluation (§III): GEO, ISx, UTS,
+Graph500, and HPGMG-FV — each with its reference variants and a HiPER
+variant, sharing workload generators and validators."""

@@ -1,0 +1,25 @@
+"""GEO: 3-D geophysical stencil (paper §II-D, §III-B, Fig. 6)."""
+
+from repro.apps.geo.common import (
+    GeoConfig,
+    check_result,
+    initial_slab,
+    plane_compute_seconds,
+    reference_solution,
+    stencil_planes,
+)
+from repro.apps.geo.variants import VARIANTS, geo_main, run_hiper, run_mpi_cuda, run_mpi_omp
+
+__all__ = [
+    "GeoConfig",
+    "check_result",
+    "initial_slab",
+    "plane_compute_seconds",
+    "reference_solution",
+    "stencil_planes",
+    "VARIANTS",
+    "geo_main",
+    "run_hiper",
+    "run_mpi_cuda",
+    "run_mpi_omp",
+]

@@ -1,0 +1,33 @@
+"""Graph500 BFS (paper §III-C2)."""
+
+from repro.apps.graph500.common import (
+    Graph500Config,
+    block_bounds,
+    build_csr,
+    kronecker_edges,
+    owner_of,
+    pick_root,
+    serial_bfs,
+    validate_bfs,
+)
+from repro.apps.graph500.variants import (
+    VARIANTS,
+    graph500_main,
+    run_hiper,
+    run_mpi,
+)
+
+__all__ = [
+    "Graph500Config",
+    "block_bounds",
+    "build_csr",
+    "kronecker_edges",
+    "owner_of",
+    "pick_root",
+    "serial_bfs",
+    "validate_bfs",
+    "VARIANTS",
+    "graph500_main",
+    "run_hiper",
+    "run_mpi",
+]

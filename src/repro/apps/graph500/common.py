@@ -1,0 +1,188 @@
+"""Graph500: Kronecker graph generation, CSR construction, and the official
+validation rules (paper §III-C2).
+
+The generator is the specification's R-MAT/Kronecker recursion with the
+standard parameters (A, B, C) = (0.57, 0.19, 0.19) and edgefactor 16,
+vectorized over all edges at once. The paper ran scale 31; this reproduction
+runs geometrically scaled-down graphs (DESIGN.md §2) with identical
+statistical structure.
+
+Validation follows the Graph500 result checks: the parent array must form a
+tree rooted at the BFS root whose tree edges are graph edges, and the tree
+depth of every reached vertex must equal its true BFS distance (which also
+forces every graph edge to span at most one level).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+from repro.util.rng import RngFactory
+
+A, B, C = 0.57, 0.19, 0.19  # Graph500 Kronecker initiator
+
+
+@dataclasses.dataclass(frozen=True)
+class Graph500Config:
+    scale: int = 10           # N = 2^scale vertices (paper: 31)
+    edgefactor: int = 16
+    seed: int = 20080617
+
+    def __post_init__(self):
+        if not (2 <= self.scale <= 26):
+            raise ConfigError("scale must be in [2, 26] for an in-memory run")
+        if self.edgefactor < 1:
+            raise ConfigError("edgefactor must be >= 1")
+
+    @property
+    def nvertices(self) -> int:
+        return 1 << self.scale
+
+    @property
+    def nedges(self) -> int:
+        return self.edgefactor * self.nvertices
+
+
+def kronecker_edges(cfg: Graph500Config) -> np.ndarray:
+    """Generate the edge list, shape (2, nedges), vertices already permuted.
+
+    Follows the Graph500 reference octave generator: one R-MAT bit per level,
+    vectorized across all edges; then a random vertex relabeling to destroy
+    degree locality.
+    """
+    rng = RngFactory(cfg.seed).stream("kron")
+    m = cfg.nedges
+    ij = np.zeros((2, m), dtype=np.int64)
+    ab = A + B
+    c_norm = C / (1.0 - ab)
+    a_norm = A / ab
+    for bit in range(cfg.scale):
+        ii = rng.random(m) > ab
+        jj = rng.random(m) > (c_norm * ii + a_norm * (~ii))
+        ij[0] += (1 << bit) * ii
+        ij[1] += (1 << bit) * jj
+    perm = rng.permutation(cfg.nvertices)
+    ij = perm[ij]
+    # shuffle edge order as the reference does
+    ij = ij[:, rng.permutation(m)]
+    return ij
+
+
+def build_csr(edges: np.ndarray, nvertices: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Undirected CSR (both directions), self-loops dropped, duplicates kept
+    (harmless for BFS). Returns (row_starts, columns)."""
+    src = np.concatenate([edges[0], edges[1]])
+    dst = np.concatenate([edges[1], edges[0]])
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    order = np.argsort(src, kind="stable")
+    src, dst = src[order], dst[order]
+    row_starts = np.zeros(nvertices + 1, dtype=np.int64)
+    counts = np.bincount(src, minlength=nvertices)
+    np.cumsum(counts, out=row_starts[1:])
+    return row_starts, dst
+
+
+def serial_bfs(row_starts: np.ndarray, cols: np.ndarray, root: int) -> np.ndarray:
+    """Reference BFS levels; -1 for unreached vertices."""
+    n = row_starts.size - 1
+    level = np.full(n, -1, dtype=np.int64)
+    level[root] = 0
+    q = deque([root])
+    while q:
+        u = q.popleft()
+        for v in cols[row_starts[u] : row_starts[u + 1]]:
+            if level[v] < 0:
+                level[v] = level[u] + 1
+                q.append(int(v))
+    return level
+
+
+def pick_root(cfg: Graph500Config, row_starts: np.ndarray) -> int:
+    """A deterministic non-isolated root (the spec samples search keys with
+    degree > 0)."""
+    rng = RngFactory(cfg.seed).stream("roots")
+    n = row_starts.size - 1
+    for _ in range(1000):
+        r = int(rng.integers(0, n))
+        if row_starts[r + 1] > row_starts[r]:
+            return r
+    raise ConfigError("could not find a non-isolated BFS root")
+
+
+def validate_bfs(cfg: Graph500Config, edges: np.ndarray, root: int,
+                 parent: np.ndarray) -> int:
+    """Graph500 result validation; returns the number of reached vertices.
+
+    Checks: root is its own parent; every reached vertex's parent edge exists
+    in the graph; tree depths equal true BFS distances; the reached set is
+    exactly root's connected component.
+    """
+    n = cfg.nvertices
+    row_starts, cols = build_csr(edges, n)
+    truth = serial_bfs(row_starts, cols, root)
+
+    if parent[root] != root:
+        raise AssertionError("BFS root is not its own parent")
+    reached = np.flatnonzero(parent >= 0)
+    want = np.flatnonzero(truth >= 0)
+    if not np.array_equal(reached, want):
+        raise AssertionError(
+            f"reached-set mismatch: {reached.size} visited vs "
+            f"{want.size} in root's component"
+        )
+    # edge-set membership of tree edges
+    edge_set = set()
+    for u, v in zip(edges[0].tolist(), edges[1].tolist()):
+        edge_set.add((u, v))
+        edge_set.add((v, u))
+    # tree depth must equal true BFS distance
+    depth = np.full(n, -1, dtype=np.int64)
+    depth[root] = 0
+    # compute depths by repeated sweeps (parent pointers form a DAG-free tree)
+    pending = [v for v in reached.tolist() if v != root]
+    guard = 0
+    while pending:
+        guard += 1
+        if guard > n + 2:
+            raise AssertionError("parent array contains a cycle")
+        nxt = []
+        for v in pending:
+            p = int(parent[v])
+            if (v, p) not in edge_set:
+                raise AssertionError(
+                    f"tree edge ({p} -> {v}) is not a graph edge"
+                )
+            if depth[p] >= 0:
+                depth[v] = depth[p] + 1
+            else:
+                nxt.append(v)
+        if len(nxt) == len(pending):
+            raise AssertionError("parent array contains a cycle")
+        pending = nxt
+    mism = np.flatnonzero((truth >= 0) & (depth != truth))
+    if mism.size:
+        v = int(mism[0])
+        raise AssertionError(
+            f"vertex {v}: tree depth {int(depth[v])} != BFS distance "
+            f"{int(truth[v])} (not a minimal BFS tree)"
+        )
+    return int(reached.size)
+
+
+# -- distribution helpers ------------------------------------------------
+def block_bounds(nvertices: int, nranks: int, rank: int) -> Tuple[int, int]:
+    """1-D block partition of the vertex space (Graph500 reference style)."""
+    per = (nvertices + nranks - 1) // nranks
+    lo = min(rank * per, nvertices)
+    return lo, min(lo + per, nvertices)
+
+
+def owner_of(nvertices: int, nranks: int, v) -> np.ndarray:
+    per = (nvertices + nranks - 1) // nranks
+    return v // per

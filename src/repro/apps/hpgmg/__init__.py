@@ -1,0 +1,43 @@
+"""HPGMG-FV: finite-volume geometric multigrid (paper §III-B, Fig. 4)."""
+
+from repro.apps.hpgmg.ops import (
+    apply_op,
+    gsrb,
+    interior,
+    jacobi,
+    manufactured_problem,
+    norm2,
+    prolong_fv,
+    residual,
+    restrict_fv,
+    restrict_inject_mean,
+)
+from repro.apps.hpgmg.serial import SerialMg
+from repro.apps.hpgmg.solver import (
+    VARIANTS,
+    DistributedMg,
+    HpgmgConfig,
+    hpgmg_main,
+    run_hiper,
+    run_reference,
+)
+
+__all__ = [
+    "apply_op",
+    "gsrb",
+    "interior",
+    "jacobi",
+    "manufactured_problem",
+    "norm2",
+    "prolong_fv",
+    "residual",
+    "restrict_fv",
+    "restrict_inject_mean",
+    "SerialMg",
+    "VARIANTS",
+    "DistributedMg",
+    "HpgmgConfig",
+    "hpgmg_main",
+    "run_hiper",
+    "run_reference",
+]

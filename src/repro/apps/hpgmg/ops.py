@@ -1,0 +1,175 @@
+"""HPGMG-FV numerical kernels: 7-point Laplacian, weighted-Jacobi smoother,
+residual, and the finite-volume restriction/prolongation pair.
+
+Array convention: every field is shaped ``(nz+2, nx+2, ny+2)`` — interior
+cells plus a one-cell ghost shell on all six faces. x/y ghosts are always
+zero (homogeneous Dirichlet); z ghosts hold either neighbor-rank planes or
+zero at the global boundary. All kernels are fully vectorized (guide:
+broadcasting over Python loops) and operate in place where possible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+#: Weighted-Jacobi damping for the 7-point 3-D Laplacian.
+JACOBI_OMEGA = 6.0 / 7.0
+
+#: Flops per cell for one smoother application (used for cost charging).
+SMOOTH_FLOPS_PER_CELL = 12.0
+
+
+def interior(a: np.ndarray) -> np.ndarray:
+    return a[1:-1, 1:-1, 1:-1]
+
+
+def alloc_field(shape_interior: Tuple[int, int, int]) -> np.ndarray:
+    nz, nx, ny = shape_interior
+    return np.zeros((nz + 2, nx + 2, ny + 2), dtype=np.float64)
+
+
+def neighbor_sum(u: np.ndarray) -> np.ndarray:
+    """Sum of the six face neighbors for every interior cell."""
+    return (
+        u[:-2, 1:-1, 1:-1] + u[2:, 1:-1, 1:-1]
+        + u[1:-1, :-2, 1:-1] + u[1:-1, 2:, 1:-1]
+        + u[1:-1, 1:-1, :-2] + u[1:-1, 1:-1, 2:]
+    )
+
+
+def apply_op(u: np.ndarray, h: float) -> np.ndarray:
+    """A u for the 7-point Laplacian: (6u - sum(neighbors)) / h^2."""
+    return (6.0 * interior(u) - neighbor_sum(u)) / (h * h)
+
+
+def residual(u: np.ndarray, f: np.ndarray, h: float) -> np.ndarray:
+    """r = f - A u on the interior."""
+    return interior(f) - apply_op(u, h)
+
+
+def jacobi(u: np.ndarray, f: np.ndarray, h: float,
+           z_slice: slice = slice(1, -1)) -> np.ndarray:
+    """One damped-Jacobi sweep over the given interior z range; returns the
+    updated planes (callers assign them back — out-of-place keeps same-level
+    box tasks independent)."""
+    zs = z_slice
+    lo = zs.start
+    hi = zs.stop if zs.stop >= 0 else u.shape[0] + zs.stop
+    nbr = (
+        u[lo - 1 : hi - 1, 1:-1, 1:-1] + u[lo + 1 : hi + 1, 1:-1, 1:-1]
+        + u[lo:hi, :-2, 1:-1] + u[lo:hi, 2:, 1:-1]
+        + u[lo:hi, 1:-1, :-2] + u[lo:hi, 1:-1, 2:]
+    )
+    au = (6.0 * u[lo:hi, 1:-1, 1:-1] - nbr) / (h * h)
+    return u[lo:hi, 1:-1, 1:-1] + JACOBI_OMEGA * (h * h / 6.0) * (
+        f[lo:hi, 1:-1, 1:-1] - au
+    )
+
+
+def gsrb(u: np.ndarray, f: np.ndarray, h: float, color: int,
+         z_slice: slice = slice(1, -1), global_z0: int = 0) -> None:
+    """One red-black Gauss–Seidel half-sweep, in place, over the interior z
+    range. ``color`` is 0 (red) or 1 (black) in GLOBAL parity — distributed
+    slabs pass their global z offset so colors line up across ranks. HPGMG's
+    smoother of choice; each full smooth is two half-sweeps with a ghost
+    exchange between them."""
+    zs = z_slice
+    lo = zs.start
+    hi = zs.stop if zs.stop >= 0 else u.shape[0] + zs.stop
+    nz = hi - lo
+    _, nxg, nyg = u.shape
+    nx, ny = nxg - 2, nyg - 2
+    k = (np.arange(nz) + global_z0 + lo - 1)[:, None, None]
+    i = np.arange(nx)[None, :, None]
+    j = np.arange(ny)[None, None, :]
+    mask = ((k + i + j) & 1) == color
+    nbr = (
+        u[lo - 1 : hi - 1, 1:-1, 1:-1] + u[lo + 1 : hi + 1, 1:-1, 1:-1]
+        + u[lo:hi, :-2, 1:-1] + u[lo:hi, 2:, 1:-1]
+        + u[lo:hi, 1:-1, :-2] + u[lo:hi, 1:-1, 2:]
+    )
+    gs = (h * h * f[lo:hi, 1:-1, 1:-1] + nbr) / 6.0
+    tgt = u[lo:hi, 1:-1, 1:-1]
+    tgt[mask] = gs[mask]
+
+
+def _restrict_axis(f: np.ndarray, axis: int) -> np.ndarray:
+    """Adjoint of :func:`_interp_axis`, scaled by 1/2 (so the pair is a
+    variational transfer couple and V-cycle factors stay mesh-independent)."""
+    f = np.moveaxis(f, axis, 0)
+    n2 = f.shape[0]
+    padded = np.concatenate(
+        [np.zeros_like(f[:1]), f, np.zeros_like(f[:1])], axis=0
+    )
+    even = f[0::2]
+    odd = f[1::2]
+    left = padded[0:n2:2]      # f[2i-1]
+    right = padded[3 : n2 + 2 : 2]  # f[2i+2]
+    out = 0.5 * (0.75 * (even + odd) + 0.25 * (left + right))
+    return np.moveaxis(out, 0, axis)
+
+
+def restrict_fv(r: np.ndarray) -> np.ndarray:
+    """Restriction: the (scaled) transpose of the trilinear prolongation,
+    applied separably. ``r`` interior-only with even dims; returns the
+    interior-only coarse array."""
+    out = _restrict_axis(r, 0)
+    out = _restrict_axis(out, 1)
+    return _restrict_axis(out, 2)
+
+
+def restrict_inject_mean(r: np.ndarray) -> np.ndarray:
+    """Plain 8-child averaging (kept for the transfer-pair ablation bench)."""
+    nz, nx, ny = r.shape
+    return r.reshape(nz // 2, 2, nx // 2, 2, ny // 2, 2).mean(axis=(1, 3, 5))
+
+
+def _interp_axis(a: np.ndarray, axis: int) -> np.ndarray:
+    """Cell-centered linear interpolation along one axis (2x refinement).
+
+    Child cells sit at ±h_c/4 from the parent center, so each child is
+    0.75*parent + 0.25*neighbor-on-its-side; zero ghosts beyond the faces
+    (homogeneous Dirichlet corrections vanish at the boundary).
+    """
+    a = np.moveaxis(a, axis, 0)
+    n = a.shape[0]
+    padded = np.concatenate(
+        [np.zeros_like(a[:1]), a, np.zeros_like(a[:1])], axis=0
+    )
+    out = np.empty((2 * n,) + a.shape[1:], dtype=a.dtype)
+    out[0::2] = 0.75 * a + 0.25 * padded[:n]       # lower child: neighbor i-1
+    out[1::2] = 0.75 * a + 0.25 * padded[2 : n + 2]  # upper child: neighbor i+1
+    return np.moveaxis(out, 0, axis)
+
+
+def prolong_fv(uc: np.ndarray) -> np.ndarray:
+    """Cell-centered trilinear prolongation (separable 1-D interpolations),
+    the pairing HPGMG-FV uses with averaging restriction. ``uc``
+    interior-only; returns the interior-only fine correction."""
+    out = _interp_axis(uc, 0)
+    out = _interp_axis(out, 1)
+    return _interp_axis(out, 2)
+
+
+def norm2(r: np.ndarray) -> float:
+    """Squared L2 norm contribution (summed across ranks by the solvers)."""
+    return float(np.sum(r * r))
+
+
+def manufactured_problem(nz: int, nx: int, ny: int, h: float,
+                         seed: int = 99) -> Tuple[np.ndarray, np.ndarray]:
+    """A discrete manufactured problem on the *global* grid: pick a smooth
+    u_exact, compute f = A u_exact exactly in the discrete operator, so the
+    discrete solution is u_exact to machine precision. Returns interior-only
+    (u_exact, f)."""
+    z = (np.arange(nz) + 0.5) * h
+    x = (np.arange(nx) + 0.5) * h
+    y = (np.arange(ny) + 0.5) * h
+    zz, xx, yy = np.meshgrid(z, x, y, indexing="ij")
+    u_exact = np.sin(np.pi * zz) * np.sin(np.pi * xx) * np.sin(np.pi * yy)
+    u_g = alloc_field((nz, nx, ny))
+    interior(u_g)[...] = u_exact
+    f = apply_op(u_g, h)
+    return u_exact, f

@@ -1,0 +1,25 @@
+"""ISx integer sort (paper §III-B, Fig. 5)."""
+
+from repro.apps.isx.common import (
+    IsxConfig,
+    bucket_width,
+    generate_keys,
+    local_sort,
+    route_keys,
+    validate_isx,
+)
+from repro.apps.isx.variants import VARIANTS, isx_main, run_flat, run_hiper, run_hybrid
+
+__all__ = [
+    "IsxConfig",
+    "bucket_width",
+    "generate_keys",
+    "local_sort",
+    "route_keys",
+    "validate_isx",
+    "VARIANTS",
+    "isx_main",
+    "run_flat",
+    "run_hiper",
+    "run_hybrid",
+]

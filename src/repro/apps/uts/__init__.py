@@ -1,0 +1,37 @@
+"""UTS: Unbalanced Tree Search (paper §III-C1, Fig. 7)."""
+
+from repro.apps.uts.common import (
+    Node,
+    UtsConfig,
+    child_count,
+    children,
+    expand_chunk,
+    pack,
+    root_node,
+    sequential_count,
+    unpack,
+)
+from repro.apps.uts.variants import (
+    VARIANTS,
+    run_hiper,
+    run_omp_tasks,
+    run_shmem_omp,
+    uts_main,
+)
+
+__all__ = [
+    "Node",
+    "UtsConfig",
+    "child_count",
+    "children",
+    "expand_chunk",
+    "pack",
+    "root_node",
+    "sequential_count",
+    "unpack",
+    "VARIANTS",
+    "run_hiper",
+    "run_omp_tasks",
+    "run_shmem_omp",
+    "uts_main",
+]

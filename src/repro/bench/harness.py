@@ -1,0 +1,129 @@
+"""Benchmark harness: node-count sweeps over the simulated cluster, with
+paper-style series tables.
+
+Each figure benchmark builds a list of :class:`Series` (one per implementation
+variant), sweeps them over node counts, and prints the same rows the paper
+plots. ``pytest-benchmark`` wraps the whole sweep (wall time of the
+simulation); the scientific output is the *virtual* time table, which is also
+attached to the benchmark's ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.distrib.spmd import ClusterConfig, SpmdResult, spmd_run
+from repro.net.costmodel import network
+from repro.platform.hwloc import machine
+
+#: Paper platforms: (machine spec name, interconnect model name).
+PLATFORMS = {
+    "titan": ("titan", "gemini"),
+    "edison": ("edison", "aries"),
+}
+
+
+def cluster_for(
+    platform: str,
+    nodes: int,
+    *,
+    layout: str,
+    workers_cap: Optional[int] = None,
+    seed: int = 0,
+) -> ClusterConfig:
+    """Build a ClusterConfig for one sweep point.
+
+    ``layout``: "flat" (process per core) or "hybrid" (process per node,
+    worker per core). ``workers_cap`` bounds workers/rank to keep Python
+    simulation costs sane (documented in EXPERIMENTS.md).
+    """
+    mspec_name, net_name = PLATFORMS[platform]
+    mspec = machine(mspec_name)
+    cores = mspec.cores if workers_cap is None else min(mspec.cores, workers_cap)
+    if layout == "flat":
+        return ClusterConfig(
+            nodes=nodes, ranks_per_node=cores, workers_per_rank=1,
+            machine=mspec, network=network(net_name), seed=seed,
+        )
+    if layout == "hybrid":
+        return ClusterConfig(
+            nodes=nodes, ranks_per_node=1, workers_per_rank=cores,
+            machine=mspec, network=network(net_name), seed=seed,
+        )
+    raise ValueError(f"unknown layout {layout!r}")
+
+
+@dataclasses.dataclass
+class Series:
+    """One line of a figure: a variant swept over node counts."""
+
+    name: str
+    #: point -> SpmdResult; ``run`` receives the node count.
+    run: Callable[[int], SpmdResult]
+    #: node counts where this series is skipped (e.g. flat at huge scale).
+    skip_above: Optional[int] = None
+
+    def measure(self, nodes_list: Sequence[int]) -> Dict[int, SpmdResult]:
+        out: Dict[int, SpmdResult] = {}
+        for nodes in nodes_list:
+            if self.skip_above is not None and nodes > self.skip_above:
+                continue
+            out[nodes] = self.run(nodes)
+        return out
+
+
+@dataclasses.dataclass
+class SweepResult:
+    title: str
+    nodes_list: List[int]
+    #: series name -> {nodes -> value}
+    values: Dict[str, Dict[int, float]]
+    unit: str = "ms"
+
+    def table(self) -> str:
+        header = f"{'nodes':>7s} | " + " | ".join(
+            f"{name:>18s}" for name in self.values
+        )
+        lines = [self.title, header, "-" * len(header)]
+        for nodes in self.nodes_list:
+            cells = []
+            for name in self.values:
+                v = self.values[name].get(nodes)
+                cells.append(f"{v:18.4f}" if v is not None else " " * 17 + "-")
+            lines.append(f"{nodes:7d} | " + " | ".join(cells))
+        lines.append(f"(values in {self.unit}, virtual time)")
+        return "\n".join(lines)
+
+    def flat(self) -> Dict[str, float]:
+        """Flattened {series@nodes: value} for benchmark extra_info."""
+        return {
+            f"{name}@{nodes}": v
+            for name, pts in self.values.items()
+            for nodes, v in pts.items()
+        }
+
+
+def sweep(
+    title: str,
+    series: Sequence[Series],
+    nodes_list: Sequence[int],
+    *,
+    metric: Callable[[SpmdResult], float] = lambda r: r.makespan * 1e3,
+    unit: str = "ms",
+) -> SweepResult:
+    """Run every series over every point; collect ``metric`` of each run."""
+    values: Dict[str, Dict[int, float]] = {}
+    for s in series:
+        results = s.measure(nodes_list)
+        values[s.name] = {nodes: metric(res) for nodes, res in results.items()}
+    return SweepResult(title, list(nodes_list), values, unit)
+
+
+def source_loc(fn: Callable) -> int:
+    """Non-blank source lines of a variant implementation (the paper's
+    programmability discussions use LoC as one proxy)."""
+    import inspect
+
+    lines = inspect.getsource(fn).splitlines()
+    return sum(1 for ln in lines if ln.strip() and not ln.strip().startswith("#"))

@@ -1,0 +1,287 @@
+"""Command-line driver: reproduce any paper figure without pytest.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro list                  # what can be reproduced
+    python -m repro fig5                  # regenerate Fig. 5's table
+    python -m repro fig7 --nodes 1 2 4    # custom sweep points
+    python -m repro validate              # run every app's correctness check
+    python -m repro platform titan        # print a machine's platform JSON
+
+Each figure command builds the same sweep as its ``benchmarks/bench_*.py``
+counterpart and prints the virtual-time table; ``validate`` runs the
+small-scale correctness harness for all five applications (serial-oracle
+comparisons, Graph500 validator, UTS exact counts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def cmd_list(_args) -> int:
+    print(__doc__)
+    print("figures: fig4 (HPGMG-FV), fig5 (ISx), fig6 (GEO), fig7 (UTS), "
+          "g500 (Graph500)")
+    return 0
+
+
+def _sweep_fig(fig: str, nodes: List[int]) -> None:
+    from repro.bench import Series, cluster_for, sweep
+    from repro.distrib import spmd_run
+
+    if fig == "fig4":
+        from repro.apps.hpgmg import HpgmgConfig, hpgmg_main
+        from repro.mpi import mpi_factory
+        from repro.upcxx import upcxx_factory
+
+        cfg = HpgmgConfig(box_dim=8, boxes_xy=2, boxes_z_per_rank=2, cycles=4)
+
+        def make(variant):
+            def run(n):
+                return spmd_run(
+                    hpgmg_main(variant, cfg),
+                    cluster_for("titan", n, layout="hybrid"),
+                    module_factories=[mpi_factory(), upcxx_factory()])
+            return run
+
+        cells = cfg.nz_local * cfg.nx * cfg.ny
+        sw = sweep(
+            "Fig 4 — HPGMG-FV weak scaling (MDOF/s, higher is better)",
+            [Series("reference", make("reference")),
+             Series("hiper", make("hiper"))],
+            nodes,
+            metric=lambda r: cells * r.nranks * cfg.cycles / r.makespan / 1e6,
+            unit="MDOF/s",
+        )
+    elif fig == "fig5":
+        from repro.apps.isx import IsxConfig, isx_main
+        from repro.shmem import shmem_factory
+
+        keys, bs, cores = 1 << 11, 1 << 7, 16
+
+        def flat(n):
+            return spmd_run(
+                isx_main("flat", IsxConfig(keys_per_pe=keys, byte_scale=bs)),
+                cluster_for("titan", n, layout="flat"),
+                module_factories=[shmem_factory(direct=True)])
+
+        def hybrid(variant):
+            def run(n):
+                return spmd_run(
+                    isx_main(variant, IsxConfig(keys_per_pe=keys * cores,
+                                                byte_scale=bs)),
+                    cluster_for("titan", n, layout="hybrid"),
+                    module_factories=[shmem_factory()])
+            return run
+
+        sw = sweep(
+            "Fig 5 — ISx weak scaling (ms)",
+            [Series("flat", flat), Series("hybrid", hybrid("hybrid")),
+             Series("hiper", hybrid("hiper"))],
+            nodes,
+        )
+    elif fig == "fig6":
+        from repro.apps.geo import GeoConfig, geo_main
+        from repro.cuda import cuda_factory
+        from repro.mpi import mpi_factory
+
+        cfg = GeoConfig(nx=48, ny=48, nz=48, timesteps=4)
+
+        def make(variant):
+            def run(n):
+                return spmd_run(
+                    geo_main(variant, cfg),
+                    cluster_for("titan", n, layout="hybrid"),
+                    module_factories=[mpi_factory(), cuda_factory()])
+            return run
+
+        sw = sweep(
+            "Fig 6 — GEO weak scaling (ms)",
+            [Series(v, make(v)) for v in ("mpi_omp", "mpi_cuda", "hiper")],
+            nodes,
+        )
+    elif fig == "fig7":
+        from repro.apps.uts import UtsConfig, sequential_count, uts_main
+        from repro.shmem import shmem_factory
+
+        cfg = UtsConfig(root_children=3000, mean_children=0.97, seed=1,
+                        node_cost=2e-6)
+        oracle = sequential_count(cfg)
+
+        def make(variant):
+            def run(n):
+                res = spmd_run(
+                    uts_main(variant, cfg),
+                    cluster_for("titan", n, layout="hybrid"),
+                    module_factories=[shmem_factory()])
+                assert sum(res.results) == oracle
+                return res
+            return run
+
+        sw = sweep(
+            f"Fig 7 — UTS strong scaling (ms, tree={oracle} nodes)",
+            [Series(v, make(v)) for v in ("shmem_omp", "omp_tasks", "hiper")],
+            nodes,
+        )
+    elif fig == "g500":
+        from repro.apps.graph500 import Graph500Config, graph500_main
+        from repro.mpi import mpi_factory
+        from repro.shmem import shmem_factory
+
+        cfg = Graph500Config(scale=12)
+
+        def make(variant):
+            def run(n):
+                return spmd_run(
+                    graph500_main(variant, cfg),
+                    cluster_for("edison", n, layout="hybrid", workers_cap=8),
+                    module_factories=[mpi_factory(), shmem_factory()])
+            return run
+
+        sw = sweep(
+            f"Graph500 strong scaling (ms, scale={cfg.scale})",
+            [Series("mpi", make("mpi")), Series("hiper", make("hiper"))],
+            nodes,
+        )
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(fig)
+    print(sw.table())
+
+
+def cmd_figure(args) -> int:
+    t0 = time.time()
+    _sweep_fig(args.figure, list(args.nodes))
+    print(f"(simulated in {time.time() - t0:.1f}s wall)")
+    return 0
+
+
+def cmd_validate(_args) -> int:
+    """Small-scale correctness pass over all five applications."""
+    from repro.bench import cluster_for
+    from repro.cuda import cuda_factory
+    from repro.distrib import ClusterConfig, spmd_run
+    from repro.mpi import mpi_factory
+    from repro.platform import machine
+    from repro.shmem import shmem_factory
+    from repro.upcxx import upcxx_factory
+
+    failures = 0
+
+    def check(name, fn):
+        nonlocal failures
+        t0 = time.time()
+        try:
+            fn()
+            print(f"  {name:<12s} OK   ({time.time() - t0:.1f}s)")
+        except Exception as exc:  # noqa: BLE001 - report and continue
+            failures += 1
+            print(f"  {name:<12s} FAIL {type(exc).__name__}: {exc}")
+
+    cluster = ClusterConfig(nodes=4, ranks_per_node=1, workers_per_rank=4,
+                            machine=machine("titan"))
+
+    def geo():
+        from repro.apps.geo import GeoConfig, check_result, geo_main
+        cfg = GeoConfig(nx=10, ny=10, nz=8, timesteps=4)
+        for v in ("mpi_omp", "mpi_cuda", "hiper"):
+            res = spmd_run(geo_main(v, cfg), cluster,
+                           module_factories=[mpi_factory(), cuda_factory()])
+            check_result(cfg, res.results)
+
+    def isx():
+        from repro.apps.isx import IsxConfig, isx_main, validate_isx
+        cfg = IsxConfig(keys_per_pe=1500)
+        res = spmd_run(isx_main("hiper", cfg), cluster,
+                       module_factories=[shmem_factory()])
+        validate_isx(cfg, res.nranks, res.results)
+
+    def uts():
+        from repro.apps.uts import UtsConfig, sequential_count, uts_main
+        cfg = UtsConfig(root_children=200, mean_children=0.9)
+        oracle = sequential_count(cfg)
+        for v in ("hiper", "shmem_omp", "omp_tasks"):
+            res = spmd_run(uts_main(v, cfg), cluster,
+                           module_factories=[shmem_factory()])
+            assert sum(res.results) == oracle, v
+
+    def g500():
+        from repro.apps.graph500 import (Graph500Config, block_bounds,
+                                         build_csr, graph500_main,
+                                         kronecker_edges, pick_root,
+                                         validate_bfs)
+        cfg = Graph500Config(scale=8)
+        edges = kronecker_edges(cfg)
+        for v in ("mpi", "hiper"):
+            res = spmd_run(graph500_main(v, cfg), cluster,
+                           module_factories=[mpi_factory(), shmem_factory()])
+            parent = np.full(cfg.nvertices, -1, dtype=np.int64)
+            for r, blk in enumerate(res.results):
+                lo, hi = block_bounds(cfg.nvertices, res.nranks, r)
+                parent[lo:hi] = blk
+            rows, _ = build_csr(edges, cfg.nvertices)
+            assert validate_bfs(cfg, edges, pick_root(cfg, rows), parent) > 0
+
+    def hpgmg():
+        from repro.apps.hpgmg import HpgmgConfig, hpgmg_main
+        cfg = HpgmgConfig(box_dim=8, boxes_xy=1, boxes_z_per_rank=1, cycles=6)
+        for v in ("reference", "hiper"):
+            res = spmd_run(hpgmg_main(v, cfg), cluster,
+                           module_factories=[mpi_factory(), upcxx_factory()])
+            hist = res.results[0][0]
+            assert hist[-1] < hist[0] * 1e-3, v
+
+    print("validating all applications against their oracles:")
+    check("GEO", geo)
+    check("ISx", isx)
+    check("UTS", uts)
+    check("Graph500", g500)
+    check("HPGMG-FV", hpgmg)
+    return 1 if failures else 0
+
+
+def cmd_platform(args) -> int:
+    from repro.platform import discover, machine
+
+    model = discover(machine(args.machine), detail=args.detail)
+    print(model.to_json())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro", description="HiPER reproduction driver")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show what can be reproduced"
+                   ).set_defaults(fn=cmd_list)
+
+    for fig in ("fig4", "fig5", "fig6", "fig7", "g500"):
+        fp = sub.add_parser(fig, help=f"regenerate {fig}")
+        fp.add_argument("--nodes", type=int, nargs="+",
+                        default=[1, 2, 4, 8])
+        fp.set_defaults(fn=cmd_figure, figure=fig)
+
+    sub.add_parser("validate", help="run every app's correctness check"
+                   ).set_defaults(fn=cmd_validate)
+
+    pp = sub.add_parser("platform", help="print a machine's platform JSON")
+    pp.add_argument("machine", choices=["edison", "titan", "workstation"])
+    pp.add_argument("--detail", default="numa",
+                    choices=["flat", "numa", "full"])
+    pp.set_defaults(fn=cmd_platform)
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""The HiPER CUDA module and simulated GPU device (paper §II-C3)."""
+
+from repro.cuda.device import DeviceArray, GpuOp, SimGpu
+from repro.cuda.module import CudaModule, cuda_factory
+
+__all__ = ["DeviceArray", "GpuOp", "SimGpu", "CudaModule", "cuda_factory"]

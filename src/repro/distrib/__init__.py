@@ -1,0 +1,5 @@
+"""SPMD multi-rank harness over the simulated executor."""
+
+from repro.distrib.spmd import ClusterConfig, RankContext, SpmdResult, spmd_run
+
+__all__ = ["ClusterConfig", "RankContext", "SpmdResult", "spmd_run"]

@@ -1,0 +1,7 @@
+"""Execution engines: virtual-time simulation and real OS threads."""
+
+from repro.exec.base import Executor
+from repro.exec.sim import SimExecutor
+from repro.exec.threaded import ThreadedExecutor
+
+__all__ = ["Executor", "SimExecutor", "ThreadedExecutor"]

@@ -1,0 +1,193 @@
+"""Executor interface: what drives workers.
+
+The scheduling *policy* (deques, paths, finish, futures) is engine-agnostic;
+an :class:`Executor` supplies the *mechanism*: how workers loop, how time
+advances, how blocked tasks keep their worker useful, and how timers fire.
+
+Two implementations ship:
+
+- :class:`repro.exec.sim.SimExecutor` — deterministic virtual-time
+  discrete-event engine; the vehicle for all performance evaluation (the
+  paper ran on Cray hardware; under the CPython GIL only virtual time gives
+  meaningful scheduling measurements — see DESIGN.md §2).
+- :class:`repro.exec.threaded.ThreadedExecutor` — one OS thread per worker;
+  validates that the policy core is thread-safe and provides real
+  concurrency for single-rank usage.
+"""
+
+from __future__ import annotations
+
+import abc
+import inspect
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+from repro.runtime.context import ExecContext, scoped_context
+from repro.runtime.future import Future
+from repro.runtime.task import Task, TaskState
+from repro.util.errors import HiperError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platform.place import Place
+    from repro.runtime.runtime import HiperRuntime
+    from repro.runtime.worker import WorkerState
+
+
+class Executor(abc.ABC):
+    """Engine contract shared by the simulated and threaded executors."""
+
+    #: "sim" or "threads"; modules may branch on this (e.g. poll intervals).
+    mode: str = "abstract"
+
+    #: Optional :class:`repro.tools.TraceRecorder`; set via attach_tracer.
+    tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Record every executed task segment into ``tracer`` (paper §V
+        tooling: the unified scheduler sees all work, so one hook covers
+        every module)."""
+        self.tracer = tracer
+
+    # -- lifecycle ----------------------------------------------------------
+    @abc.abstractmethod
+    def register_runtime(self, runtime: "HiperRuntime") -> None:
+        """Attach one runtime (one rank) to this executor."""
+
+    @abc.abstractmethod
+    def shutdown(self) -> None:
+        """Stop workers and release resources. Idempotent."""
+
+    # -- time ------------------------------------------------------------
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current time: the running worker's virtual clock (sim) or wall
+        time since executor start (threads)."""
+
+    @abc.abstractmethod
+    def charge(self, seconds: float) -> None:
+        """Account ``seconds`` of simulated compute to the current worker.
+
+        No-op on the threaded executor (real work takes real time there).
+        Must be called from inside a task.
+        """
+
+    # -- scheduling hooks -------------------------------------------------
+    @abc.abstractmethod
+    def notify(self, runtime: "HiperRuntime", place: "Place") -> None:
+        """A task became ready at ``place``; wake candidate workers."""
+
+    @abc.abstractmethod
+    def block_until(
+        self,
+        predicate: Callable[[], bool],
+        description: str = "",
+        time_source: Optional[Callable[[], float]] = None,
+    ) -> None:
+        """Block the *current task* until ``predicate()`` is true without
+        idling its worker (help-until-ready). ``time_source``, if given,
+        reports the virtual timestamp at which the condition became true so
+        the simulated executor can advance the blocked worker's clock.
+        """
+
+    @abc.abstractmethod
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` after ``delay`` (virtual or wall) seconds, outside any
+        task context. Used by polling services and timeout modelling."""
+
+    @abc.abstractmethod
+    def run_root(self, runtime: "HiperRuntime", fn: Callable[[], Any], *,
+                 name: str = "root") -> Any:
+        """Spawn ``fn`` as a root task on ``runtime``, drive the engine until
+        it (and everything it transitively spawned) completes, and return its
+        value. This is the external entry point used by ``HiperRuntime.run``."""
+
+    # -- shared task-execution machinery ------------------------------------
+    def execute_task(self, runtime: "HiperRuntime", worker: "WorkerState",
+                     task: Task) -> None:
+        """Run one task (or one segment of a coroutine task) on ``worker``.
+
+        Shared by both executors; engine-specific accounting happens in the
+        :meth:`on_task_start` hook.
+        """
+        ctx = ExecContext(self, runtime, worker, task)
+        with scoped_context(ctx):
+            t0 = self.now() if self.tracer is not None else 0.0
+            self.on_task_start(worker, task)
+            worker.tasks_run += 1
+            try:
+                if task.gen is None:
+                    result = task.start_body()
+                    if inspect.isgenerator(result):
+                        task.gen = result
+                        self._drive_coroutine(runtime, task)
+                    else:
+                        self._complete(runtime, task, result)
+                else:
+                    self._drive_coroutine(runtime, task)
+            except BaseException as exc:  # noqa: BLE001 - boundary by design
+                self._fail(runtime, task, exc)
+            finally:
+                if self.tracer is not None:
+                    t1 = self.now()
+                    self.tracer.record(task.rank, worker.wid, task.module,
+                                       task.name, t0, t1)
+                    runtime.stats.time(task.module, "task", t1 - t0)
+
+    def _drive_coroutine(self, runtime: "HiperRuntime", task: Task) -> None:
+        while True:
+            finished, payload = task.step()
+            if finished:
+                self._complete(runtime, task, payload)
+                return
+            if payload is None:
+                # Cooperative yield: go to the back of the line.
+                task.state = TaskState.READY
+                runtime.reenqueue(task)
+                return
+            if isinstance(payload, Future):
+                if payload.satisfied:
+                    task.prepare_resume(payload)
+                    continue
+                task.state = TaskState.SUSPENDED
+                runtime.stats.count("core", "suspend")
+                payload.on_ready(_make_resumer(runtime, task))
+                return
+            raise HiperError(
+                f"coroutine task {task.name!r} yielded {type(payload).__name__}; "
+                "only Future or None may be yielded"
+            )
+
+    def _complete(self, runtime: "HiperRuntime", task: Task, result: Any) -> None:
+        task.state = TaskState.DONE
+        if task.result_promise is not None:
+            task.result_promise.put(result)
+        if task.scope is not None:
+            task.scope.task_completed(None)
+        runtime.stats.count("core", "tasks_completed")
+
+    def _fail(self, runtime: "HiperRuntime", task: Task, exc: BaseException) -> None:
+        task.state = TaskState.FAILED
+        runtime.stats.count("core", "tasks_failed")
+        if task.result_promise is not None:
+            # The consumer of the future owns the failure.
+            task.result_promise.put_exception(exc)
+            if task.scope is not None:
+                task.scope.task_completed(None)
+        elif task.scope is not None:
+            task.scope.task_completed(exc)
+        else:  # pragma: no cover - root tasks always have a scope
+            raise exc
+
+    # -- engine-specific accounting hook -----------------------------------
+    def on_task_start(self, worker: "WorkerState", task: Task) -> None:
+        """Called just before a task body/segment runs (override to charge
+        task cost, advance clocks, record stats)."""
+
+
+def _make_resumer(runtime: "HiperRuntime", task: Task):
+    def _resume(fut: Future) -> None:
+        task.prepare_resume(fut)
+        task.state = TaskState.READY
+        runtime.stats.count("core", "resume")
+        runtime.reenqueue(task)
+
+    return _resume

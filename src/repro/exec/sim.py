@@ -1,0 +1,303 @@
+"""Deterministic virtual-time executor (discrete-event simulation).
+
+This is the reproduction's substitute for running on Edison/Titan (DESIGN.md
+§2): every (rank, worker) pair carries a virtual clock; compute is charged
+explicitly (task ``cost=`` or ``charge()``); communication and device
+completions arrive as timestamped events. One OS thread drives everything, so
+runs are bit-for-bit reproducible for a given seed.
+
+Scheduling order: the engine always runs the lowest-``(clock, rank, wid)``
+worker that may have work; when no worker can find work it advances the event
+queue; when both are exhausted it has *proved* quiescence (and raises
+:class:`DeadlockError` if anything is still blocked).
+
+Blocking (``future.wait``, ``finish``) uses *help-until-ready*: the blocked
+frame re-enters the engine loop, so any worker — including the blocked one —
+keeps executing ready tasks and events keep flowing. This nests on the Python
+call stack; pathological nesting depth raises a diagnostic rather than a bare
+``RecursionError`` (coroutine tasks avoid the nesting entirely).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import sys
+from typing import Any, Callable, List, Optional, Set
+
+from repro.exec.base import Executor
+from repro.runtime.context import ExecContext, current_context, scoped_context
+from repro.runtime.finish import FinishScope
+from repro.runtime.future import Future, Promise
+from repro.runtime.runtime import HiperRuntime
+from repro.runtime.task import Task
+from repro.runtime.worker import WorkerState, find_task
+from repro.util.errors import ConfigError, DeadlockError, HiperError, RuntimeStateError
+
+
+class SimExecutor(Executor):
+    """Single-threaded, deterministic, virtual-time engine for 1..N runtimes."""
+
+    mode = "sim"
+
+    #: Nested help-until-ready levels beyond which we fail loudly with advice
+    #: instead of hitting Python's recursion limit somewhere unhelpful.
+    MAX_HELP_DEPTH = 4000
+
+    def __init__(self, *, trace: bool = False, task_overhead: float = 0.0):
+        """``task_overhead``: virtual seconds charged per task dispatch
+        (models scheduler/dispatch cost; 0 by default, exercised by the
+        runtime-overhead ablation bench)."""
+        self._runtimes: List[HiperRuntime] = []
+        self._workers: List[WorkerState] = []
+        self._coverage = {}  # (runtime id) -> place_id -> List[WorkerState]
+        self._maybe_ready: Set[WorkerState] = set()
+        self._events: List = []  # heap of (time, seq, fn)
+        self._event_seq = itertools.count()
+        self._event_floor = 0.0
+        self._help_depth = 0
+        self._blocked: List[str] = []
+        self._shutdown = False
+        self._stepping = False
+        self.trace = trace
+        self.task_overhead = float(task_overhead)
+        self.events_processed = 0
+        if sys.getrecursionlimit() < 100_000:
+            sys.setrecursionlimit(100_000)
+
+    # ------------------------------------------------------------------
+    # Executor interface
+    # ------------------------------------------------------------------
+    def register_runtime(self, runtime: HiperRuntime) -> None:
+        if self._shutdown:
+            raise RuntimeStateError("executor already shut down")
+        self._runtimes.append(runtime)
+        cov = {}
+        for place in runtime.model:
+            cov[place.place_id] = [
+                runtime.workers[w] for w in runtime.paths.workers_covering(place)
+            ]
+        self._coverage[id(runtime)] = cov
+        self._workers.extend(runtime.workers)
+
+    def shutdown(self) -> None:
+        self._shutdown = True
+        self._events.clear()
+        self._maybe_ready.clear()
+
+    def now(self) -> float:
+        ctx = current_context()
+        if ctx is not None and ctx.worker is not None:
+            return ctx.worker.clock
+        return self._event_floor
+
+    def charge(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ConfigError(f"cannot charge negative time {seconds}")
+        ctx = current_context()
+        if ctx is None or ctx.worker is None:
+            raise RuntimeStateError("charge() must be called from a worker context")
+        ctx.worker.clock += seconds
+        if ctx.runtime is not None:
+            ctx.runtime.stats.worker_activity(ctx.worker.wid, busy=seconds)
+
+    def notify(self, runtime: HiperRuntime, place) -> None:
+        for w in self._coverage[id(runtime)][place.place_id]:
+            self._maybe_ready.add(w)
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        if delay < 0:
+            raise ConfigError(f"call_later delay must be non-negative, got {delay}")
+        heapq.heappush(self._events, (self.now() + delay, next(self._event_seq), fn))
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Schedule at an absolute virtual time (used by the network fabric)."""
+        heapq.heappush(
+            self._events, (max(when, 0.0), next(self._event_seq), fn)
+        )
+
+    # ------------------------------------------------------------------
+    # the engine loop
+    # ------------------------------------------------------------------
+    def _step(self) -> bool:
+        """Run one task or one event batch. False iff nothing can happen."""
+        while self._maybe_ready:
+            worker = min(
+                self._maybe_ready, key=lambda w: (w.clock, w.rank, w.wid)
+            )
+            task = find_task(worker)
+            if task is None:
+                self._maybe_ready.discard(worker)
+                continue
+            self._run_task(worker, task)
+            return True
+        if self._events:
+            self._advance_events()
+            return True
+        return False
+
+    def _run_task(self, worker: WorkerState, task: Task) -> None:
+        worker.advance_clock_to(task.release_time)
+        if self.trace:  # pragma: no cover - debugging aid
+            print(f"[sim t={worker.clock:.9f}] r{worker.rank}w{worker.wid} run {task.describe()}")
+        self.execute_task(worker.runtime, worker, task)
+        # The task may have pushed follow-up work for this worker; notify()
+        # covers cross-worker wakes but re-adding ourselves is cheap and keeps
+        # the hot pop-path loop tight.
+        self._maybe_ready.add(worker)
+
+    def _advance_events(self) -> None:
+        """Pop and run every event sharing the minimum timestamp."""
+        t0, _, fn = heapq.heappop(self._events)
+        self._event_floor = max(self._event_floor, t0)
+        batch = [fn]
+        while self._events and self._events[0][0] == t0:
+            batch.append(heapq.heappop(self._events)[2])
+        ctx = ExecContext(self)  # bare context: now() == event floor
+        with scoped_context(ctx):
+            for fn in batch:
+                fn()
+                self.events_processed += 1
+
+    def on_task_start(self, worker: WorkerState, task: Task) -> None:
+        # task.cost is the body's total compute: charge it on the FIRST
+        # segment only (coroutine resumes are continuations of the same
+        # body); the dispatch overhead applies to every segment.
+        cost = self.task_overhead + (task.cost if task.gen is None else 0.0)
+        if cost:
+            worker.clock += cost
+            worker.runtime.stats.worker_activity(worker.wid, busy=cost)
+
+    # ------------------------------------------------------------------
+    # blocking
+    # ------------------------------------------------------------------
+    def block_until(
+        self,
+        predicate: Callable[[], bool],
+        description: str = "",
+        time_source: Optional[Callable[[], float]] = None,
+    ) -> None:
+        ctx = current_context()
+        worker = ctx.worker if ctx is not None else None
+        if not predicate():
+            self._help_depth += 1
+            if self._help_depth > self.MAX_HELP_DEPTH:
+                self._help_depth -= 1
+                raise HiperError(
+                    f"help-until-ready nesting exceeded {self.MAX_HELP_DEPTH} "
+                    f"while blocking on {description or 'a condition'}; "
+                    "convert deeply-blocking plain tasks to coroutine tasks "
+                    "(yield the future instead of wait())"
+                )
+            self._blocked.append((description or "<anonymous wait>", predicate))
+            try:
+                while not predicate():
+                    if not self._step():
+                        names = [d for d, _ in self._blocked]
+                        # Diagnose help-stack inversion: an OUTER blocked
+                        # frame whose condition is already satisfied cannot
+                        # unwind past us — plain blocking calls in an
+                        # iterative SPMD pattern; the fix is coroutine style.
+                        inverted = [
+                            d for d, p in self._blocked[:-1] if p()
+                        ]
+                        if inverted:
+                            raise DeadlockError(
+                                "help-stack inversion: progress requires "
+                                f"unwinding to {inverted!r}, which is buried "
+                                "beneath this frame on the help stack. Use "
+                                "the *_async/future APIs and yield from "
+                                "coroutine mains instead of blocking calls "
+                                f"(innermost wait: {description!r})",
+                                blocked=names,
+                            )
+                        raise DeadlockError(
+                            f"no runnable work or events while waiting on "
+                            f"{description or 'a condition'}",
+                            blocked=names,
+                        )
+            finally:
+                self._blocked.pop()
+                self._help_depth -= 1
+        if worker is not None and time_source is not None:
+            worker.advance_clock_to(time_source())
+
+    # ------------------------------------------------------------------
+    # roots and driving
+    # ------------------------------------------------------------------
+    def submit_root(
+        self, runtime: HiperRuntime, fn: Callable[[], Any], *, name: str = "root"
+    ) -> Future:
+        """Enqueue ``fn`` as a root task under a fresh finish scope; return a
+        future satisfied (with ``fn``'s value) once the whole scope quiesces.
+        Does not drive the engine — SPMD launchers submit all ranks first."""
+        scope = FinishScope(name=f"{name}-scope")
+        inner = runtime.spawn(
+            fn, scope=scope, return_future=True, name=name,
+            place=runtime.workers[0].pop_path[0],
+        )
+        assert inner is not None
+        scope.close()
+        out = Promise(name=f"{name}-done")
+
+        def _joined(_f) -> None:
+            try:
+                scope.raise_collected()
+                out.put(inner.value())
+            except BaseException as exc:  # noqa: BLE001
+                out.put_exception(exc)
+
+        scope.all_done_future().on_ready(_joined)
+        return out.get_future()
+
+    def drive(self, until: Callable[[], bool]) -> None:
+        """Pump the engine until ``until()`` is true; raise on dead quiescence."""
+        if self._stepping:
+            raise RuntimeStateError(
+                "drive() re-entered; use block_until from inside tasks"
+            )
+        self._stepping = True
+        try:
+            while not until():
+                if not self._step():
+                    raise DeadlockError(
+                        "engine quiesced before completion",
+                        blocked=[d for d, _ in self._blocked]
+                        + [
+                            f"ready tasks at {name}: {n}"
+                            for rt in self._runtimes
+                            for name, n in rt.deques.snapshot().items()
+                        ],
+                    )
+        finally:
+            self._stepping = False
+
+    def drain(self) -> None:
+        """Run until full quiescence (no ready tasks, no events)."""
+        while self._step():
+            pass
+
+    def run_root(
+        self, runtime: HiperRuntime, fn: Callable[[], Any], *, name: str = "root"
+    ) -> Any:
+        fut = self.submit_root(runtime, fn, name=name)
+        self.drive(lambda: fut.satisfied)
+        return fut.value()
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def makespan(self) -> float:
+        """Virtual completion time: max worker clock / event floor seen."""
+        clocks = [w.clock for w in self._workers]
+        return max(clocks + [self._event_floor]) if clocks else self._event_floor
+
+    def worker_clocks(self) -> List[float]:
+        return [w.clock for w in self._workers]
+
+    def __repr__(self) -> str:
+        return (
+            f"SimExecutor(runtimes={len(self._runtimes)}, "
+            f"workers={len(self._workers)}, events={len(self._events)}, "
+            f"floor={self._event_floor:.6f})"
+        )

@@ -1,0 +1,225 @@
+"""Real OS-thread executor (single rank).
+
+One persistent thread per worker, exactly the paper's §II-B1 thread pool. The
+policy core (deques, pop/steal paths, futures, finish) is shared with the
+simulated executor; this engine exists to (a) prove that core is genuinely
+thread-safe and (b) run single-rank task-parallel programs with real
+concurrency. Performance evaluation happens on :class:`SimExecutor` — under
+the CPython GIL, wall-clock scaling here is not meaningful (DESIGN.md §2).
+
+Blocking uses the same help-until-ready strategy: a blocked worker executes
+other ready tasks, then parks on a condition variable. A watchdog timeout
+(default 30 s wall) converts silent hangs into :class:`DeadlockError` —
+the threaded engine cannot *prove* deadlock the way the simulator can.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Any, Callable, List, Optional
+
+from repro.exec.base import Executor
+from repro.runtime.context import ExecContext, current_context, scoped_context
+from repro.runtime.finish import FinishScope
+from repro.runtime.future import Future, Promise
+from repro.runtime.runtime import HiperRuntime
+from repro.runtime.worker import WorkerState, find_task, has_visible_work
+from repro.util.errors import ConfigError, DeadlockError, RuntimeStateError
+
+_PARK_TIMEOUT = 0.002  # seconds; bounds wake latency for missed notifies
+
+
+class ThreadedExecutor(Executor):
+    """One OS thread per worker of a single runtime."""
+
+    mode = "threads"
+
+    def __init__(self, *, block_timeout: float = 30.0):
+        if block_timeout <= 0:
+            raise ConfigError("block_timeout must be positive")
+        self.block_timeout = block_timeout
+        self._runtime: Optional[HiperRuntime] = None
+        self._threads: List[threading.Thread] = []
+        self._cond = threading.Condition()
+        self._stop = False
+        self._started = False
+        self._t0 = time.monotonic()
+        # timer facility
+        self._timers: List = []
+        self._timer_seq = itertools.count()
+        self._timer_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def register_runtime(self, runtime: HiperRuntime) -> None:
+        if self._runtime is not None:
+            raise RuntimeStateError(
+                "ThreadedExecutor drives exactly one runtime; multi-rank runs "
+                "use SimExecutor (see repro.distrib)"
+            )
+        self._runtime = runtime
+
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        with self._cond:
+            if self._started:
+                return
+            self._started = True
+        assert self._runtime is not None
+        for w in self._runtime.workers:
+            th = threading.Thread(
+                target=self._worker_loop, args=(w,),
+                name=f"hiper-worker-{w.wid}", daemon=True,
+            )
+            self._threads.append(th)
+            th.start()
+        self._timer_thread = threading.Thread(
+            target=self._timer_loop, name="hiper-timer", daemon=True
+        )
+        self._timer_thread.start()
+
+    def shutdown(self) -> None:
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        for th in self._threads:
+            th.join(timeout=5.0)
+        if self._timer_thread is not None:
+            self._timer_thread.join(timeout=5.0)
+        self._threads.clear()
+
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        return time.monotonic() - self._t0
+
+    def charge(self, seconds: float) -> None:
+        # Real work takes real time on this engine; cost annotations are
+        # accounting-only.
+        if seconds < 0:
+            raise ConfigError(f"cannot charge negative time {seconds}")
+        ctx = current_context()
+        if ctx is not None and ctx.runtime is not None and ctx.worker is not None:
+            ctx.runtime.stats.worker_activity(ctx.worker.wid, busy=seconds)
+
+    def notify(self, runtime: HiperRuntime, place) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        if delay < 0:
+            raise ConfigError(f"call_later delay must be non-negative, got {delay}")
+        self._ensure_started()
+        with self._cond:
+            heapq.heappush(
+                self._timers, (self.now() + delay, next(self._timer_seq), fn)
+            )
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    def _worker_loop(self, worker: WorkerState) -> None:
+        rt = self._runtime
+        assert rt is not None
+        while True:
+            task = find_task(worker)
+            if task is not None:
+                self.execute_task(rt, worker, task)
+                continue
+            with self._cond:
+                if self._stop:
+                    return
+                if not has_visible_work(worker):
+                    self._cond.wait(timeout=_PARK_TIMEOUT)
+
+    def _timer_loop(self) -> None:
+        while True:
+            fire: List[Callable[[], None]] = []
+            with self._cond:
+                if self._stop:
+                    return
+                now = self.now()
+                while self._timers and self._timers[0][0] <= now:
+                    fire.append(heapq.heappop(self._timers)[2])
+                if not fire:
+                    delay = (
+                        min(self._timers[0][0] - now, 0.01)
+                        if self._timers
+                        else 0.01
+                    )
+                    self._cond.wait(timeout=max(delay, 1e-4))
+                    continue
+            ctx = ExecContext(self)
+            with scoped_context(ctx):
+                for fn in fire:
+                    fn()
+
+    # ------------------------------------------------------------------
+    def block_until(
+        self,
+        predicate: Callable[[], bool],
+        description: str = "",
+        time_source: Optional[Callable[[], float]] = None,
+    ) -> None:
+        deadline = time.monotonic() + self.block_timeout
+        ctx = current_context()
+        worker = ctx.worker if ctx is not None else None
+        rt = ctx.runtime if ctx is not None else None
+        while not predicate():
+            if worker is not None and rt is not None:
+                task = find_task(worker)
+                if task is not None:
+                    self.execute_task(rt, worker, task)
+                    continue
+            with self._cond:
+                if not predicate():
+                    self._cond.wait(timeout=_PARK_TIMEOUT)
+            if time.monotonic() > deadline:
+                raise DeadlockError(
+                    f"blocked on {description or 'a condition'} for more than "
+                    f"{self.block_timeout}s (threaded watchdog)"
+                )
+
+    # ------------------------------------------------------------------
+    def submit_root(
+        self, runtime: HiperRuntime, fn: Callable[[], Any], *, name: str = "root"
+    ) -> Future:
+        self._ensure_started()
+        scope = FinishScope(name=f"{name}-scope")
+        inner = runtime.spawn(
+            fn, scope=scope, return_future=True, name=name,
+            place=runtime.workers[0].pop_path[0],
+        )
+        assert inner is not None
+        scope.close()
+        out = Promise(name=f"{name}-done")
+
+        def _joined(_f) -> None:
+            try:
+                scope.raise_collected()
+                out.put(inner.value())
+            except BaseException as exc:  # noqa: BLE001
+                out.put_exception(exc)
+
+        scope.all_done_future().on_ready(_joined)
+        return out.get_future()
+
+    def run_root(
+        self, runtime: HiperRuntime, fn: Callable[[], Any], *, name: str = "root"
+    ) -> Any:
+        fut = self.submit_root(runtime, fn, name=name)
+        done = threading.Event()
+        fut.on_ready(lambda _f: done.set())
+        if not done.wait(timeout=self.block_timeout):
+            raise DeadlockError(
+                f"root task {name!r} did not complete within "
+                f"{self.block_timeout}s (threaded watchdog)"
+            )
+        return fut.value()
+
+    def makespan(self) -> float:
+        return self.now()
+
+    def __repr__(self) -> str:
+        return f"ThreadedExecutor(workers={len(self._threads)}, started={self._started})"

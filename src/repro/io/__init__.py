@@ -1,0 +1,12 @@
+"""Storage substrate and the checkpoint module (paper §V future work)."""
+
+from repro.io.module import CheckpointModule, checkpoint_factory
+from repro.io.storage import SimStore, StorageError, StorageOp
+
+__all__ = [
+    "CheckpointModule",
+    "checkpoint_factory",
+    "SimStore",
+    "StorageError",
+    "StorageOp",
+]

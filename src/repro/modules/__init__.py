@@ -1,0 +1,15 @@
+"""The pluggable-module framework (paper §II-C)."""
+
+from repro.modules.base import (
+    HiperModule,
+    create_module,
+    known_module_classes,
+    register_module_class,
+)
+
+__all__ = [
+    "HiperModule",
+    "create_module",
+    "known_module_classes",
+    "register_module_class",
+]

@@ -1,0 +1,109 @@
+"""Pluggable software modules (paper §II-C).
+
+A complete HiPER module provides:
+
+1. an initialization function called once per process (here: per runtime) —
+   :meth:`HiperModule.initialize`;
+2. a finalization function — :meth:`HiperModule.finalize`;
+3. optional special-purpose registrations (e.g. copy handlers for certain
+   place types) — performed inside ``initialize`` via
+   ``runtime.register_copy_handler``;
+4. user-facing functions added to the global HiPER namespace — performed via
+   :meth:`HiperModule.export`, which populates ``runtime.ops``.
+
+Modules are *not* part of the core runtime and need no core changes: the
+MPI/OpenSHMEM/UPC++/CUDA modules in :mod:`repro.mpi` etc. are ordinary
+subclasses. Third-party code can subclass :class:`HiperModule` the same way.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Type
+
+from repro.util.errors import ModuleError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import HiperRuntime
+
+
+class HiperModule(abc.ABC):
+    """Base class for pluggable modules.
+
+    Subclasses set :attr:`name` (unique per runtime) and implement
+    ``initialize``; ``finalize`` defaults to a no-op. ``initialize`` should
+    assert its platform-model requirements (paper: "It is up to individual
+    modules to make these assertions ... during module initialization").
+    """
+
+    #: Unique module name; also the stats attribution key.
+    name: str = ""
+
+    #: Capability tags for inter-module discovery (paper §IV future
+    #: direction: "allow registered modules to query for other modules which
+    #: they can integrate with"). Query via ``runtime.query_modules(tag)``.
+    capabilities: frozenset = frozenset()
+
+    def __init__(self):
+        if not self.name:
+            raise ModuleError(
+                f"{type(self).__name__} must define a non-empty class attribute 'name'"
+            )
+        self._initialized = False
+
+    @abc.abstractmethod
+    def initialize(self, runtime: "HiperRuntime") -> None:
+        """Called once when the module is installed on a runtime."""
+
+    def finalize(self, runtime: "HiperRuntime") -> None:
+        """Called once at runtime shutdown, in reverse install order."""
+
+    # -- helpers for subclasses ----------------------------------------
+    def export(self, runtime: "HiperRuntime", fn_name: str, fn: Callable) -> None:
+        """Add a user-facing function to the global HiPER namespace
+        (``runtime.ops``), refusing to clobber another module's export."""
+        if hasattr(runtime.ops, fn_name):
+            raise ModuleError(
+                f"module {self.name!r} cannot export {fn_name!r}: name already "
+                "present in the runtime namespace"
+            )
+        setattr(runtime.ops, fn_name, fn)
+
+    def require_place_type(self, runtime: "HiperRuntime", kind) -> None:
+        if not runtime.model.has_type(kind):
+            raise ModuleError(
+                f"module {self.name!r} requires a place of type {kind.value} "
+                f"in the platform model {runtime.model.name!r}"
+            )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+#: Registry of module classes by name, for config-file-driven installs.
+_MODULE_CLASSES: Dict[str, Type[HiperModule]] = {}
+
+
+def register_module_class(cls: Type[HiperModule]) -> Type[HiperModule]:
+    """Class decorator: make a module loadable by name via :func:`create_module`."""
+    if not cls.name:
+        raise ModuleError(f"{cls.__name__} must define 'name' before registration")
+    if cls.name in _MODULE_CLASSES:
+        raise ModuleError(f"module class {cls.name!r} registered twice")
+    _MODULE_CLASSES[cls.name] = cls
+    return cls
+
+
+def create_module(name: str, **kwargs) -> HiperModule:
+    try:
+        cls = _MODULE_CLASSES[name]
+    except KeyError:
+        raise ModuleError(
+            f"no module class registered under {name!r}; "
+            f"known: {sorted(_MODULE_CLASSES)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def known_module_classes() -> Dict[str, Type[HiperModule]]:
+    return dict(_MODULE_CLASSES)

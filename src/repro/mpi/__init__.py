@@ -1,0 +1,20 @@
+"""The HiPER MPI module and its underlying matching backend (paper §II-C1)."""
+
+from repro.mpi.backend import (
+    ANY_SOURCE,
+    ANY_TAG,
+    COMM_WORLD,
+    MpiBackend,
+    MpiRequest,
+)
+from repro.mpi.module import MpiModule, mpi_factory
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "COMM_WORLD",
+    "MpiBackend",
+    "MpiRequest",
+    "MpiModule",
+    "mpi_factory",
+]

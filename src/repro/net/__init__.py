@@ -1,0 +1,18 @@
+"""Simulated interconnect: LogGP-style cost model and the message fabric."""
+
+from repro.net.costmodel import NETWORKS, NetworkModel, network
+from repro.net.fabric import SimFabric
+from repro.net.mux import FabricMux
+from repro.net.topology import (
+    TOPOLOGIES,
+    DragonflyTopology,
+    FlatTopology,
+    Topology,
+    TorusTopology,
+)
+
+__all__ = [
+    "NETWORKS", "NetworkModel", "network", "SimFabric", "FabricMux",
+    "TOPOLOGIES", "DragonflyTopology", "FlatTopology", "Topology",
+    "TorusTopology",
+]

@@ -1,0 +1,149 @@
+"""The simulated interconnect fabric: timestamped message delivery between
+ranks, with per-node NIC contention and non-overtaking pairwise order.
+
+The fabric is communication-library-agnostic: MPI matching, OpenSHMEM
+symmetric-memory operations, and UPC++ RPCs are all payloads to it. Each rank
+registers one *sink* callable; deliveries invoke it from event context at the
+delivery timestamp.
+
+Guarantees:
+
+- **pairwise FIFO**: messages from rank s to rank d are delivered in the
+  order `transmit` was called (MPI non-overtaking; SHMEM put ordering per
+  target under the default context).
+- **determinism**: identical call sequences produce identical timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.exec.sim import SimExecutor
+from repro.net.costmodel import NetworkModel
+from repro.net.topology import FlatTopology, Topology
+from repro.util.errors import CommError, ConfigError
+
+Sink = Callable[[int, Any, float], None]  # (src_rank, payload, time) -> None
+
+
+class SimFabric:
+    """Cluster-wide message transport in virtual time."""
+
+    def __init__(
+        self,
+        executor: SimExecutor,
+        nranks: int,
+        network: NetworkModel,
+        ranks_per_node: int = 1,
+        topology: Optional[Topology] = None,
+    ):
+        if nranks < 1:
+            raise ConfigError(f"nranks must be >= 1, got {nranks}")
+        if ranks_per_node < 1:
+            raise ConfigError(f"ranks_per_node must be >= 1, got {ranks_per_node}")
+        self.executor = executor
+        self.nranks = nranks
+        self.network = network
+        self.ranks_per_node = ranks_per_node
+        #: Hop-distance model refining the wire latency (paper §I-A's
+        #: "non-uniform interconnect"); flat (uniform) by default.
+        self.topology = topology if topology is not None else FlatTopology()
+        self.nnodes = (nranks + ranks_per_node - 1) // ranks_per_node
+        self._sinks: Dict[int, Sink] = {}
+        # Per-node NIC availability times (the congestion state).
+        self._tx_avail: List[float] = [0.0] * self.nnodes
+        self._rx_avail: List[float] = [0.0] * self.nnodes
+        # Pairwise FIFO: last delivery time per (src, dst).
+        self._pair_last: Dict[int, float] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    def node_of(self, rank: int) -> int:
+        self._check_rank(rank)
+        return rank // self.ranks_per_node
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.nranks):
+            raise CommError(f"rank {rank} out of range [0, {self.nranks})")
+
+    def register_sink(self, rank: int, sink: Sink) -> None:
+        self._check_rank(rank)
+        if rank in self._sinks:
+            raise CommError(f"rank {rank} already has a registered sink")
+        self._sinks[rank] = sink
+
+    # ------------------------------------------------------------------
+    def transmit(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        payload: Any,
+        *,
+        on_injected: Optional[Callable[[float], None]] = None,
+    ) -> float:
+        """Send ``payload`` (conceptually ``nbytes`` long) from src to dst.
+
+        Returns the *injection-complete* time (source buffer reusable; the
+        completion point of buffered/eager sends). ``on_injected`` fires as an
+        event at that time. The destination sink fires at delivery time.
+
+        Must be called from a context where ``executor.now()`` is meaningful
+        (a task on the src rank, or an event callback).
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        if nbytes < 0:
+            raise CommError(f"negative message size {nbytes}")
+        net = self.network
+        t = self.executor.now()
+        s_node, d_node = src // self.ranks_per_node, dst // self.ranks_per_node
+
+        if src == dst:
+            inject_done = t
+            delivery = t  # self-sends complete immediately (local copy)
+        elif s_node == d_node:
+            inject_done = t + net.intra_node_time(nbytes)
+            delivery = inject_done
+        else:
+            ser = net.serialization_time(nbytes)
+            tx_start = max(t, self._tx_avail[s_node])
+            self._tx_avail[s_node] = tx_start + ser
+            inject_done = tx_start + ser
+            arrival = (inject_done + net.latency
+                       + self.topology.extra_latency(s_node, d_node))
+            rx_start = max(arrival, self._rx_avail[d_node])
+            self._rx_avail[d_node] = rx_start + ser
+            delivery = rx_start + ser
+
+        # Pairwise FIFO: never deliver before an earlier message on the pair.
+        key = src * self.nranks + dst
+        prev = self._pair_last.get(key, 0.0)
+        delivery = max(delivery, prev)
+        self._pair_last[key] = delivery
+
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+
+        if on_injected is not None:
+            self.executor.call_at(inject_done, lambda: on_injected(inject_done))
+        sink = self._sinks.get(dst)
+        if sink is None:
+            raise CommError(
+                f"rank {dst} has no registered message sink; was its "
+                "communication backend initialized?"
+            )
+        self.executor.call_at(delivery, lambda: sink(src, payload, delivery))
+        return inject_done
+
+    # ------------------------------------------------------------------
+    def cpu_send_overhead(self) -> float:
+        """CPU seconds a sending task should ``charge`` per message."""
+        return self.network.cpu_overhead
+
+    def __repr__(self) -> str:
+        return (
+            f"SimFabric(nranks={self.nranks}, nodes={self.nnodes}, "
+            f"net={self.network.name!r}, msgs={self.messages_sent})"
+        )

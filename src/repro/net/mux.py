@@ -1,0 +1,70 @@
+"""Per-rank protocol multiplexer over the fabric.
+
+A rank registers exactly one sink with the fabric; multiple communication
+modules (MPI, OpenSHMEM, UPC++) coexist in one process in the paper, so each
+module claims a named *channel* on its rank's mux. Payloads travel as
+``(channel, inner_payload)`` and are dispatched to the owning module's
+handler at delivery time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.net.fabric import SimFabric
+from repro.util.errors import CommError
+
+ChannelHandler = Callable[[int, Any, float], None]  # (src, payload, time)
+
+
+class FabricMux:
+    """One per rank; shared by every communication module on that rank."""
+
+    def __init__(self, fabric: SimFabric, rank: int):
+        self.fabric = fabric
+        self.rank = rank
+        self._handlers: Dict[str, ChannelHandler] = {}
+        fabric.register_sink(rank, self._dispatch)
+
+    def register_channel(self, name: str, handler: ChannelHandler) -> None:
+        if name in self._handlers:
+            raise CommError(
+                f"channel {name!r} already registered on rank {self.rank}"
+            )
+        self._handlers[name] = handler
+
+    def transmit(
+        self,
+        dst: int,
+        channel: str,
+        payload: Any,
+        nbytes: int,
+        *,
+        on_injected: Optional[Callable[[float], None]] = None,
+    ) -> float:
+        if channel not in self._handlers:
+            # Channels are registered symmetrically during module init, so a
+            # send on an unknown channel is a local registration bug.
+            raise CommError(
+                f"rank {self.rank} sending on unregistered channel {channel!r}"
+            )
+        return self.fabric.transmit(
+            self.rank, dst, nbytes, (channel, payload), on_injected=on_injected
+        )
+
+    def _dispatch(self, src: int, wrapped: Any, time: float) -> None:
+        channel, payload = wrapped
+        handler = self._handlers.get(channel)
+        if handler is None:
+            raise CommError(
+                f"rank {self.rank} received message on unregistered channel "
+                f"{channel!r} from rank {src}"
+            )
+        handler(src, payload, time)
+
+    @property
+    def nranks(self) -> int:
+        return self.fabric.nranks
+
+    def __repr__(self) -> str:
+        return f"FabricMux(rank={self.rank}, channels={sorted(self._handlers)})"

@@ -1,0 +1,34 @@
+"""The HiPER platform model: places, the platform graph, hwloc-style
+discovery, and pop/steal path policies (paper §II-A, §II-B3)."""
+
+from repro.platform.hwloc import MACHINES, GpuSpec, MachineSpec, discover, machine
+from repro.platform.model import PlatformModel
+from repro.platform.paths import (
+    POLICIES,
+    WorkerPaths,
+    custom_paths,
+    dedicated_comm_paths,
+    default_paths,
+    flat_paths,
+    make_paths,
+)
+from repro.platform.place import MEMORY_PLACE_TYPES, Place, PlaceType
+
+__all__ = [
+    "MACHINES",
+    "GpuSpec",
+    "MachineSpec",
+    "discover",
+    "machine",
+    "PlatformModel",
+    "POLICIES",
+    "WorkerPaths",
+    "custom_paths",
+    "dedicated_comm_paths",
+    "default_paths",
+    "flat_paths",
+    "make_paths",
+    "MEMORY_PLACE_TYPES",
+    "Place",
+    "PlaceType",
+]

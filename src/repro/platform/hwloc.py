@@ -1,0 +1,199 @@
+"""Synthetic hwloc: generate platform models from machine descriptions.
+
+The paper ships "utilities for automatically generating JSON platform
+configuration files using the HWloc library". Real hwloc probes the host; in
+this reproduction a :class:`MachineSpec` *describes* a node (sockets, cores,
+caches, GPUs, NVM, disks) and :func:`discover` synthesizes the equivalent
+platform graph. Specs for the paper's evaluation machines (Edison, Titan)
+live in :data:`MACHINES`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.platform.model import PlatformModel
+from repro.platform.place import PlaceType
+from repro.util.errors import ConfigError
+
+
+@dataclasses.dataclass(frozen=True)
+class GpuSpec:
+    """One accelerator: memory size and roofline parameters used by the CUDA
+    module's cost model."""
+
+    mem_bytes: int = 6 * 2**30
+    flops: float = 1.31e12  # double-precision peak, defaults are K20X-ish
+    mem_bw: float = 208e9  # device memory bandwidth, bytes/s
+    pcie_bw: float = 6e9  # host<->device transfer bandwidth, bytes/s
+    kernel_launch_overhead: float = 8e-6
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineSpec:
+    """Description of one shared-memory node.
+
+    ``core_flops``/``mem_bw`` feed the simulated executor's compute cost
+    model; the network parameters live in :class:`repro.net.costmodel.NetworkModel`
+    (a property of the cluster, not the node).
+    """
+
+    name: str
+    sockets: int = 2
+    cores_per_socket: int = 12
+    core_flops: float = 9.6e9  # per-core double-precision flop/s
+    mem_bw: float = 89e9  # per-node stream bandwidth, bytes/s
+    mem_bytes: int = 64 * 2**30
+    l3_bytes: int = 30 * 2**20
+    gpus: int = 0
+    gpu: Optional[GpuSpec] = None
+    nvm_bytes: int = 0
+    disks: int = 0
+
+    def __post_init__(self):
+        if self.sockets < 1 or self.cores_per_socket < 1:
+            raise ConfigError("machine must have at least one socket and one core")
+        if self.gpus and self.gpu is None:
+            object.__setattr__(self, "gpu", GpuSpec())
+
+    @property
+    def cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+
+#: Machine models for the paper's evaluation platforms (§III-A).
+MACHINES: Dict[str, MachineSpec] = {
+    # Edison: Cray XC30, 2x12-core Intel Ivy Bridge, 64 GB DDR3 per node.
+    "edison": MachineSpec(
+        name="edison",
+        sockets=2,
+        cores_per_socket=12,
+        core_flops=9.6e9,
+        mem_bw=89e9,
+        mem_bytes=64 * 2**30,
+    ),
+    # Titan: Cray XK7, 16-core AMD Opteron + NVIDIA K20X, 32 GB per node.
+    "titan": MachineSpec(
+        name="titan",
+        sockets=2,
+        cores_per_socket=8,
+        core_flops=8.8e9,
+        mem_bw=52e9,
+        mem_bytes=32 * 2**30,
+        gpus=1,
+        gpu=GpuSpec(),
+    ),
+    # A small generic workstation, handy for tests and the quickstart.
+    "workstation": MachineSpec(
+        name="workstation",
+        sockets=1,
+        cores_per_socket=4,
+        core_flops=3.0e9,
+        mem_bw=20e9,
+        mem_bytes=16 * 2**30,
+        gpus=1,
+    ),
+}
+
+
+def machine(name: str) -> MachineSpec:
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown machine {name!r}; known machines: {sorted(MACHINES)}"
+        ) from None
+
+
+def discover(
+    spec: MachineSpec,
+    num_workers: Optional[int] = None,
+    detail: str = "numa",
+    with_interconnect: bool = True,
+) -> PlatformModel:
+    """Build a platform model for one node of ``spec``.
+
+    ``detail`` selects graph granularity:
+
+    - ``"flat"``  — a single system-memory place (plus devices/interconnect).
+    - ``"numa"``  — one L3 place per socket under system memory (default).
+    - ``"full"``  — additionally one L2+L1 pair per core.
+
+    ``num_workers`` defaults to the core count (paper: "generally equals the
+    number of management cores").
+    """
+    if detail not in ("flat", "numa", "full"):
+        raise ConfigError(f"detail must be flat|numa|full, got {detail!r}")
+
+    model = PlatformModel(name=f"{spec.name}-{detail}")
+    model.num_workers = spec.cores if num_workers is None else int(num_workers)
+    if model.num_workers < 1:
+        raise ConfigError("num_workers must be >= 1")
+
+    sysmem = model.add_place(
+        "sysmem",
+        PlaceType.SYSTEM_MEM,
+        {
+            "capacity_bytes": spec.mem_bytes,
+            "bandwidth_bytes_per_s": spec.mem_bw,
+            "core_flops": spec.core_flops,
+            "cores": spec.cores,
+        },
+    )
+
+    if detail in ("numa", "full"):
+        for s in range(spec.sockets):
+            l3 = model.add_place(
+                f"socket{s}.l3",
+                PlaceType.L3_CACHE,
+                {"socket": s, "capacity_bytes": spec.l3_bytes},
+            )
+            model.add_edge(sysmem, l3)
+            if detail == "full":
+                for c in range(spec.cores_per_socket):
+                    core = s * spec.cores_per_socket + c
+                    if core >= model.num_workers:
+                        # per-core cache places exist for worker-backed cores
+                        # only; unmanned places would be unreachable by any
+                        # pop/steal path.
+                        continue
+                    l2 = model.add_place(
+                        f"core{core}.l2", PlaceType.L2_CACHE, {"socket": s, "core": core}
+                    )
+                    l1 = model.add_place(
+                        f"core{core}.l1", PlaceType.L1_CACHE, {"socket": s, "core": core}
+                    )
+                    model.add_edge(l3, l2)
+                    model.add_edge(l2, l1)
+
+    for g in range(spec.gpus):
+        assert spec.gpu is not None
+        gpu = model.add_place(
+            f"gpu{g}",
+            PlaceType.GPU_MEM,
+            {
+                "device": g,
+                "capacity_bytes": spec.gpu.mem_bytes,
+                "flops": spec.gpu.flops,
+                "bandwidth_bytes_per_s": spec.gpu.mem_bw,
+                "pcie_bytes_per_s": spec.gpu.pcie_bw,
+                "kernel_launch_overhead": spec.gpu.kernel_launch_overhead,
+            },
+        )
+        model.add_edge(sysmem, gpu)
+
+    if with_interconnect:
+        nic = model.add_place("interconnect", PlaceType.INTERCONNECT, {})
+        model.add_edge(sysmem, nic)
+
+    if spec.nvm_bytes:
+        nvm = model.add_place("nvm", PlaceType.NVM, {"capacity_bytes": spec.nvm_bytes})
+        model.add_edge(sysmem, nvm)
+
+    for d in range(spec.disks):
+        disk = model.add_place(f"disk{d}", PlaceType.DISK, {"device": d})
+        model.add_edge(sysmem, disk)
+
+    model.validate()
+    return model

@@ -1,0 +1,67 @@
+"""The generalized work-stealing runtime (paper §II-B): tasks, futures,
+finish scopes, deques, workers, and the task-creation APIs."""
+
+from repro.runtime.api import (
+    async_,
+    async_at,
+    async_await,
+    async_copy,
+    async_copy_await,
+    async_future,
+    async_future_await,
+    begin_finish,
+    charge,
+    current_runtime,
+    end_finish,
+    finish,
+    forasync,
+    forasync_chunked,
+    forasync_future,
+    now,
+    timer_future,
+    yield_now,
+)
+from repro.runtime.context import ExecContext, current_context, require_context
+from repro.runtime.finish import FinishScope, TaskGroupError
+from repro.runtime.future import Future, Promise, satisfied_future, when_all, when_any
+from repro.runtime.polling import PollingService
+from repro.runtime.runtime import HiperRuntime
+from repro.runtime.task import Task, TaskState
+from repro.runtime.worker import WorkerState, find_task
+
+__all__ = [
+    "async_",
+    "async_at",
+    "async_await",
+    "async_copy",
+    "async_copy_await",
+    "async_future",
+    "async_future_await",
+    "begin_finish",
+    "charge",
+    "current_runtime",
+    "end_finish",
+    "finish",
+    "forasync",
+    "forasync_chunked",
+    "forasync_future",
+    "now",
+    "timer_future",
+    "yield_now",
+    "ExecContext",
+    "current_context",
+    "require_context",
+    "FinishScope",
+    "TaskGroupError",
+    "Future",
+    "Promise",
+    "satisfied_future",
+    "when_all",
+    "when_any",
+    "PollingService",
+    "HiperRuntime",
+    "Task",
+    "TaskState",
+    "WorkerState",
+    "find_task",
+]

@@ -1,0 +1,115 @@
+"""Per-place, per-worker task deques (paper §II-B2).
+
+Each place holds *N* deques, one per worker. The i-th deque at a place
+contains only ready tasks spawned by worker *i*, which makes it trivial for a
+searching worker to distinguish its own work (pop: LIFO, locality) from other
+workers' work (steal: FIFO, load balancing) — exactly the Chase–Lev access
+discipline, realised here with a lock per deque (contention is irrelevant
+under the GIL and absent in the simulated executor).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.util.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platform.model import PlatformModel
+    from repro.platform.place import Place
+    from repro.runtime.task import Task
+
+
+class WorkerDeque:
+    """One worker's deque at one place. Owner pops newest; thieves steal oldest."""
+
+    __slots__ = ("_lock", "_items")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items: deque = deque()
+
+    def push(self, task: "Task") -> None:
+        with self._lock:
+            self._items.append(task)
+
+    def pop(self) -> Optional["Task"]:
+        """LIFO end — owner's access."""
+        with self._lock:
+            return self._items.pop() if self._items else None
+
+    def steal(self) -> Optional["Task"]:
+        """FIFO end — thief's access."""
+        with self._lock:
+            return self._items.popleft() if self._items else None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def peek_names(self) -> List[str]:
+        """Snapshot of task names, oldest first (diagnostics only)."""
+        with self._lock:
+            return [t.name for t in self._items]
+
+
+class PlaceDeques:
+    """The N deques of one place."""
+
+    __slots__ = ("place", "slots")
+
+    def __init__(self, place: "Place", num_workers: int):
+        if num_workers < 1:
+            raise ConfigError("num_workers must be >= 1")
+        self.place = place
+        self.slots: List[WorkerDeque] = [WorkerDeque() for _ in range(num_workers)]
+
+    def push(self, task: "Task") -> None:
+        self.slots[task.created_by].push(task)
+
+    def pop_own(self, worker_id: int) -> Optional["Task"]:
+        return self.slots[worker_id].pop()
+
+    def steal_from_others(self, worker_id: int, victim_order) -> Optional["Task"]:
+        """Try to steal from each victim slot in the given order."""
+        for v in victim_order:
+            if v == worker_id:
+                continue
+            task = self.slots[v].steal()
+            if task is not None:
+                return task
+        return None
+
+    def total(self) -> int:
+        return sum(len(s) for s in self.slots)
+
+
+class DequeTable:
+    """All deques of one runtime: ``table[place] -> PlaceDeques``."""
+
+    def __init__(self, model: "PlatformModel"):
+        self._by_place_id: Dict[int, PlaceDeques] = {
+            p.place_id: PlaceDeques(p, model.num_workers) for p in model
+        }
+        self.num_workers = model.num_workers
+
+    def at(self, place: "Place") -> PlaceDeques:
+        return self._by_place_id[place.place_id]
+
+    def push(self, task: "Task") -> None:
+        if task.place is None:
+            raise ConfigError(f"task {task.name!r} has no target place")
+        self._by_place_id[task.place.place_id].push(task)
+
+    def total_ready(self) -> int:
+        return sum(pd.total() for pd in self._by_place_id.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        """Place name -> ready-task count (diagnostics, deadlock reports)."""
+        return {
+            pd.place.name: pd.total()
+            for pd in self._by_place_id.values()
+            if pd.total()
+        }

@@ -1,0 +1,108 @@
+"""Finish scopes: bulk task synchronization (paper §II-B4).
+
+``finish(body)`` runs ``body`` and then blocks the calling task until every
+task transitively spawned inside the scope has completed. Exceptions raised
+by tasks in the scope are collected and re-raised at the join point (wrapped
+in :class:`TaskGroupError` when more than one).
+
+Coroutine tasks cannot call the blocking ``finish`` (a generator cannot yield
+across the body callable's frame), so the runtime also exposes the split form
+``begin_finish()`` / ``end_finish()`` where the latter returns a future to
+``yield`` on.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+from repro.runtime.future import Future, Promise
+from repro.util.errors import HiperError
+
+
+class TaskGroupError(HiperError):
+    """Raised at a finish join when more than one task in the scope failed."""
+
+    def __init__(self, exceptions: List[BaseException]):
+        self.exceptions = exceptions
+        msgs = "; ".join(f"{type(e).__name__}: {e}" for e in exceptions[:5])
+        extra = f" (+{len(exceptions) - 5} more)" if len(exceptions) > 5 else ""
+        super().__init__(f"{len(exceptions)} tasks failed in finish scope: {msgs}{extra}")
+
+
+class FinishScope:
+    """Counts live tasks registered under it; satisfies a promise at zero.
+
+    The scope starts *open* with a count of one held by the opener (the body
+    itself); :meth:`close` drops that hold. The all-done promise fires when
+    the count reaches zero after close.
+    """
+
+    __slots__ = ("parent", "name", "_lock", "_count", "_closed", "_promise",
+                 "_exceptions", "_end_time")
+
+    def __init__(self, parent: Optional["FinishScope"] = None, name: str = "finish"):
+        self.parent = parent
+        self.name = name
+        self._lock = threading.Lock()
+        self._count = 1  # the opener's hold
+        self._closed = False
+        self._promise = Promise(name=f"{name}-done")
+        self._exceptions: List[BaseException] = []
+        self._end_time = 0.0
+
+    # -- task registration ------------------------------------------------
+    def task_spawned(self) -> None:
+        with self._lock:
+            if self._closed and self._count == 0:
+                raise HiperError(
+                    f"finish scope {self.name!r} already joined; cannot spawn into it"
+                )
+            self._count += 1
+
+    def task_completed(self, exc: Optional[BaseException] = None) -> None:
+        with self._lock:
+            if exc is not None:
+                self._exceptions.append(exc)
+            self._count -= 1
+            fire = self._closed and self._count == 0
+        if fire:
+            self._promise.put(None)
+
+    def close(self) -> None:
+        """Drop the opener's hold (body finished executing)."""
+        with self._lock:
+            if self._closed:
+                raise HiperError(f"finish scope {self.name!r} closed twice")
+            self._closed = True
+            self._count -= 1
+            fire = self._count == 0
+        if fire:
+            self._promise.put(None)
+
+    # -- join side ----------------------------------------------------------
+    @property
+    def quiescent(self) -> bool:
+        return self._promise.satisfied
+
+    @property
+    def pending(self) -> int:
+        return self._count
+
+    def all_done_future(self) -> Future:
+        return self._promise.get_future()
+
+    def raise_collected(self) -> None:
+        """Re-raise exceptions gathered from tasks in this scope, if any."""
+        with self._lock:
+            excs, self._exceptions = self._exceptions, []
+        if len(excs) == 1:
+            raise excs[0]
+        if excs:
+            raise TaskGroupError(excs)
+
+    def __repr__(self) -> str:
+        return (
+            f"FinishScope({self.name!r}, pending={self._count}, "
+            f"closed={self._closed})"
+        )

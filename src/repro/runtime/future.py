@@ -1,0 +1,244 @@
+"""Promises and futures (paper §II-B4).
+
+A promise is a single-assignment, thread-safe container for a value; a future
+is a read-only handle on it. Futures are the framework's only inter-task
+synchronization primitive besides ``finish``: tasks may block on them
+(``wait``/``get``) or predicate new tasks on them (``async_await``).
+
+Implementation notes
+--------------------
+- ``put`` runs registered callbacks *outside* the internal lock, in
+  registration order, exactly once each.
+- A promise may be satisfied with an exception (``put_exception``); ``get``
+  then re-raises it in every consumer. This is how task failures propagate
+  through ``async_future``.
+- ``put`` records the *virtual timestamp* of satisfaction when called inside
+  an executor context, which the simulated executor uses to advance a blocked
+  worker's clock to the satisfaction time.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.runtime.context import current_context, require_context
+from repro.util.errors import PromiseError
+
+_UNSET = object()
+
+
+class Promise:
+    """Single-assignment, thread-safe value container."""
+
+    __slots__ = ("_lock", "_value", "_exception", "_satisfied", "_callbacks",
+                 "_put_time", "_future", "name")
+
+    def __init__(self, name: str = ""):
+        self._lock = threading.Lock()
+        self._value: Any = _UNSET
+        self._exception: Optional[BaseException] = None
+        self._satisfied = False
+        self._callbacks: List[Callable[["Future"], None]] = []
+        self._put_time: float = 0.0
+        self._future: Optional[Future] = None
+        self.name = name
+
+    # -- producer side -------------------------------------------------
+    def put(self, value: Any = None) -> None:
+        """Satisfy the promise. A second put raises :class:`PromiseError`."""
+        self._resolve(value, None)
+
+    def put_exception(self, exc: BaseException) -> None:
+        """Satisfy the promise with a failure; consumers re-raise on ``get``."""
+        if not isinstance(exc, BaseException):
+            raise TypeError("put_exception expects an exception instance")
+        self._resolve(_UNSET, exc)
+
+    def _resolve(self, value: Any, exc: Optional[BaseException]) -> None:
+        ctx = current_context()
+        now = ctx.executor.now() if ctx is not None else 0.0
+        with self._lock:
+            if self._satisfied:
+                raise PromiseError(
+                    f"promise {self.name or id(self)} satisfied twice "
+                    "(promises are single-assignment)"
+                )
+            self._value = value
+            self._exception = exc
+            self._put_time = now
+            self._satisfied = True
+            callbacks, self._callbacks = self._callbacks, []
+        fut = self.get_future()
+        for cb in callbacks:
+            cb(fut)
+
+    # -- consumer side ---------------------------------------------------
+    def get_future(self) -> "Future":
+        # Futures are cheap handles; share one per promise.
+        if self._future is None:
+            self._future = Future(self)
+        return self._future
+
+    @property
+    def satisfied(self) -> bool:
+        return self._satisfied
+
+    def _add_callback(self, cb: Callable[["Future"], None]) -> None:
+        run_now = False
+        with self._lock:
+            if self._satisfied:
+                run_now = True
+            else:
+                self._callbacks.append(cb)
+        if run_now:
+            cb(self.get_future())
+
+    def __repr__(self) -> str:
+        state = "satisfied" if self._satisfied else "pending"
+        return f"Promise({self.name or hex(id(self))}, {state})"
+
+
+class Future:
+    """Read-only handle on a :class:`Promise`."""
+
+    __slots__ = ("_promise",)
+
+    def __init__(self, promise: Promise):
+        self._promise = promise
+
+    @property
+    def satisfied(self) -> bool:
+        return self._promise._satisfied
+
+    @property
+    def name(self) -> str:
+        return self._promise.name
+
+    def value(self) -> Any:
+        """The satisfied value; raises if unsatisfied or satisfied with error."""
+        p = self._promise
+        if not p._satisfied:
+            raise PromiseError(
+                f"future {self.name or hex(id(self))} read before satisfaction; "
+                "call wait()/get() from a task instead"
+            )
+        if p._exception is not None:
+            raise p._exception
+        return p._value
+
+    def on_ready(self, cb: Callable[["Future"], None]) -> None:
+        """Run ``cb(self)`` when satisfied (immediately if already). Internal
+        building block for continuations and ``async_await``."""
+        self._promise._add_callback(cb)
+
+    def wait(self) -> Any:
+        """Block the calling task until satisfied; return the value.
+
+        Never blocks the underlying worker: the executor runs other ready
+        tasks (help-until-ready) or parks until the satisfying event. This is
+        the reproduction's analogue of the paper's call-stack suspension.
+        """
+        p = self._promise
+        if not p._satisfied:
+            ctx = require_context()
+            ctx.executor.block_until(
+                lambda: p._satisfied,
+                description=f"future {self.name or hex(id(self))}",
+                time_source=lambda: p._put_time,
+            )
+        return self.value()
+
+    def get(self) -> Any:
+        """Paper spelling: ``f->get()`` — wait then fetch."""
+        return self.wait()
+
+    def then(self, fn: Callable[[Any], Any], name: str = "then") -> "Future":
+        """UPC++-style chaining: a future of ``fn(value)``, applied when this
+        future is satisfied. Exceptions — from this future or from ``fn`` —
+        propagate into the returned future."""
+        out = Promise(name=name)
+
+        def _apply(f: "Future") -> None:
+            try:
+                out.put(fn(f.value()))
+            except BaseException as exc:  # noqa: BLE001
+                out.put_exception(exc)
+
+        self.on_ready(_apply)
+        return out.get_future()
+
+    def done_time(self) -> float:
+        """Virtual time at which the promise was satisfied (sim executor)."""
+        if not self._promise._satisfied:
+            raise PromiseError("done_time() on an unsatisfied future")
+        return self._promise._put_time
+
+    def __repr__(self) -> str:
+        state = "satisfied" if self.satisfied else "pending"
+        return f"Future({self.name or hex(id(self._promise))}, {state})"
+
+
+def satisfied_future(value: Any = None, name: str = "") -> Future:
+    """A future that is already satisfied (handy for uniform APIs)."""
+    p = Promise(name)
+    with p._lock:
+        p._value = value
+        p._satisfied = True
+    return p.get_future()
+
+
+def when_all(futures: Sequence[Future], name: str = "when_all") -> Future:
+    """A future satisfied when *all* inputs are, with the list of values.
+
+    If any input carries an exception, the first (in input order, among those
+    satisfied) is propagated.
+    """
+    futures = list(futures)
+    out = Promise(name)
+    if not futures:
+        out.put([])
+        return out.get_future()
+    remaining = [len(futures)]
+    lock = threading.Lock()
+
+    def _one_done(_f: Future) -> None:
+        with lock:
+            remaining[0] -= 1
+            fire = remaining[0] == 0
+        if fire:
+            try:
+                out.put([f.value() for f in futures])
+            except BaseException as exc:  # propagate first failure
+                out.put_exception(exc)
+
+    for f in futures:
+        f.on_ready(_one_done)
+    return out.get_future()
+
+
+def when_any(futures: Sequence[Future], name: str = "when_any") -> Future:
+    """A future satisfied when *any* input is, with ``(index, value)``."""
+    futures = list(futures)
+    if not futures:
+        raise PromiseError("when_any requires at least one future")
+    out = Promise(name)
+    lock = threading.Lock()
+    fired = [False]
+
+    def _make(i: int) -> Callable[[Future], None]:
+        def _cb(f: Future) -> None:
+            with lock:
+                if fired[0]:
+                    return
+                fired[0] = True
+            try:
+                out.put((i, f.value()))
+            except BaseException as exc:
+                out.put_exception(exc)
+
+        return _cb
+
+    for i, f in enumerate(futures):
+        f.on_ready(_make(i))
+    return out.get_future()

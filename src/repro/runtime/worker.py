@@ -1,0 +1,109 @@
+"""Worker state and the pop-path/steal-path search policy (paper §II-B3).
+
+A worker's scheduling logic is exactly the paper's three steps:
+
+1. search its *pop path* for work it created itself (LIFO, locality);
+2. failing that, search its *steal path* for work created by others (FIFO);
+3. repeat until work is found or shutdown.
+
+Step 3 (the retry/park loop) belongs to the executor; this module implements
+one search round, shared verbatim by the simulated and threaded executors.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platform.place import Place
+    from repro.runtime.runtime import HiperRuntime
+    from repro.runtime.task import Task
+
+
+class WorkerState:
+    """Per-worker mutable state: identity, paths, virtual clock, RNG."""
+
+    __slots__ = ("wid", "rank", "runtime", "pop_path", "steal_path", "clock",
+                 "_rng", "_victims", "idle_time", "tasks_run", "steals")
+
+    def __init__(
+        self,
+        wid: int,
+        rank: int,
+        runtime: "HiperRuntime",
+        pop_path: Sequence["Place"],
+        steal_path: Sequence["Place"],
+        rng: np.random.Generator,
+    ):
+        self.wid = wid
+        self.rank = rank
+        self.runtime = runtime
+        self.pop_path: List["Place"] = list(pop_path)
+        self.steal_path: List["Place"] = list(steal_path)
+        #: Virtual clock (simulated executor); unused by the threaded executor.
+        self.clock = 0.0
+        self._rng = rng
+        self._victims = np.arange(runtime.num_workers)
+        self.idle_time = 0.0
+        self.tasks_run = 0
+        self.steals = 0
+
+    def victim_order(self) -> np.ndarray:
+        """A fresh random permutation of worker ids, for steal fairness."""
+        self._rng.shuffle(self._victims)
+        return self._victims
+
+    def advance_clock_to(self, t: float) -> None:
+        if t > self.clock:
+            self.idle_time += t - self.clock
+            self.clock = t
+
+    def describe(self) -> str:
+        return f"worker {self.wid} (rank {self.rank})"
+
+    def __repr__(self) -> str:
+        return f"<WorkerState r{self.rank}w{self.wid} clock={self.clock:.6f}>"
+
+
+def find_task(worker: WorkerState) -> Optional["Task"]:
+    """One search round over the worker's pop path then steal path.
+
+    Returns a ready task or ``None``. Mirrors paper §II-B3: the pop path only
+    yields tasks this worker created; the steal path only yields tasks other
+    workers created.
+    """
+    deques = worker.runtime.deques
+    stats = worker.runtime.stats
+    for place in worker.pop_path:
+        task = deques.at(place).pop_own(worker.wid)
+        if task is not None:
+            stats.count("core", "pop")
+            return task
+    num_workers = worker.runtime.num_workers
+    for place in worker.steal_path:
+        if num_workers == 1:
+            break  # nobody to steal from
+        task = deques.at(place).steal_from_others(worker.wid, worker.victim_order())
+        if task is not None:
+            stats.count("core", "steal")
+            worker.steals += 1
+            return task
+    return None
+
+
+def has_visible_work(worker: WorkerState) -> bool:
+    """Cheap check whether a search round *could* succeed (used by executors
+    to decide whether to park). May return true spuriously (racy in the
+    threaded executor), never falsely negative at the instant of the check."""
+    deques = worker.runtime.deques
+    for place in worker.pop_path:
+        if len(deques.at(place).slots[worker.wid]):
+            return True
+    for place in worker.steal_path:
+        pd = deques.at(place)
+        for wid, slot in enumerate(pd.slots):
+            if wid != worker.wid and len(slot):
+                return True
+    return False

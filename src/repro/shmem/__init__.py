@@ -1,0 +1,16 @@
+"""The HiPER OpenSHMEM module: symmetric heap, one-sided operations,
+atomics, wait-until, collectives, and the novel ``shmem_async_when``
+(paper §II-C2)."""
+
+from repro.shmem.backend import CMP_OPS, ShmemBackend
+from repro.shmem.heap import SymArray, SymmetricHeap
+from repro.shmem.module import ShmemModule, shmem_factory
+
+__all__ = [
+    "CMP_OPS",
+    "ShmemBackend",
+    "SymArray",
+    "SymmetricHeap",
+    "ShmemModule",
+    "shmem_factory",
+]

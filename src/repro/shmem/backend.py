@@ -1,0 +1,306 @@
+"""One-sided (RDMA-style) operations over the fabric: the library layer the
+OpenSHMEM module taskifies.
+
+Remote puts, gets, and atomics are applied *in the delivery event* at the
+target — no target-side task is scheduled, mirroring NIC-executed RDMA.
+Atomicity of AMOs holds because the simulated executor runs events one at a
+time.
+
+Completion semantics follow the spec:
+
+- ``put`` completes locally at injection (source buffer reusable); its
+  *remote* completion is tracked for ``quiet``/``fence``.
+- ``get`` and fetching AMOs are round trips (request + response messages).
+- ``quiet`` completes when every previously-issued put/AMO from this PE has
+  been applied at its target.
+
+Local-memory watchers implement ``wait_until`` and the paper's novel
+``shmem_async_when`` (§II-C2): every remote update to a symmetric array
+re-evaluates the watchers registered against it, satisfying their promises
+from event context — the condition "polling" the paper offloads to the
+runtime collapses to event-driven checks in virtual time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.net.mux import FabricMux
+from repro.runtime.context import current_context
+from repro.runtime.future import Future, Promise
+from repro.shmem.heap import SymArray, SymmetricHeap
+from repro.util.errors import ShmemError
+
+_CHANNEL = "shmem"
+
+#: Comparison operators for wait_until / async_when (OpenSHMEM SHMEM_CMP_*).
+CMP_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+}
+
+_AMO_SIZE = 48     # wire size of an atomic op request
+_CTRL_SIZE = 32    # wire size of a get request header
+
+
+class ShmemBackend:
+    """Per-PE one-sided engine. All PEs' backends see each other through the
+    run's shared registry (in-process simulation of a PGAS fabric)."""
+
+    def __init__(
+        self,
+        mux: FabricMux,
+        rank: int,
+        heap: SymmetricHeap,
+        peers: Dict[int, "ShmemBackend"],
+    ):
+        self.mux = mux
+        self.rank = rank
+        self.nranks = mux.nranks
+        self.heap = heap
+        self._peers = peers
+        peers[rank] = self
+        self._req_seq = itertools.count()
+        self._pending_resp: Dict[int, Promise] = {}
+        # Outstanding remote completions (for quiet/fence).
+        self._outstanding = 0
+        self._quiet_waiters: List[Promise] = []
+        # Local-memory watchers: sym_id -> list of (probe, promise).
+        self._watchers: Dict[int, List[Tuple[Callable[[], bool], Promise]]] = {}
+        self.puts = 0
+        self.gets = 0
+        self.amos = 0
+        mux.register_channel(_CHANNEL, self._on_delivery)
+
+    # ------------------------------------------------------------------
+    # puts
+    # ------------------------------------------------------------------
+    def put(self, target: SymArray, data: Any, pe: int, offset: int = 0,
+            *, nbytes: Optional[int] = None) -> Future:
+        """Store ``data`` into PE ``pe``'s copy of ``target`` at ``offset``.
+
+        Returns the *local completion* future (buffer reusable). Remote
+        completion is observable via :meth:`quiet`. ``nbytes`` overrides the
+        wire size (shape-preserving workload scaling, DESIGN.md §2).
+        """
+        self._check_pe(pe)
+        data = np.asarray(data)
+        self._check_bounds(target, offset, data.size, pe)
+        self.puts += 1
+        self._outstanding += 1
+        done = Promise(name=f"put-{target.sym_id}@{pe}")
+        payload = ("put", target.sym_id, offset, data.copy(), self.rank)
+        self._charge_cpu()
+        wire = int(data.nbytes) if nbytes is None else int(nbytes)
+        self.mux.transmit(
+            pe, _CHANNEL, payload, wire + _CTRL_SIZE,
+            on_injected=lambda t: done.put(None),
+        )
+        return done.get_future()
+
+    # ------------------------------------------------------------------
+    # gets
+    # ------------------------------------------------------------------
+    def get(self, source: SymArray, pe: int, offset: int = 0,
+            count: Optional[int] = None) -> Future:
+        """Fetch ``count`` elements of PE ``pe``'s copy of ``source``;
+        future carries the numpy array."""
+        self._check_pe(pe)
+        n = source.size - offset if count is None else count
+        self._check_bounds(source, offset, n, pe)
+        self.gets += 1
+        req_id = next(self._req_seq)
+        done = Promise(name=f"get-{source.sym_id}@{pe}")
+        self._pending_resp[req_id] = done
+        self._charge_cpu()
+        self.mux.transmit(
+            pe, _CHANNEL, ("get", source.sym_id, offset, n, self.rank, req_id),
+            _CTRL_SIZE,
+        )
+        return done.get_future()
+
+    # ------------------------------------------------------------------
+    # atomics
+    # ------------------------------------------------------------------
+    def amo(self, op: str, target: SymArray, index: int, pe: int,
+            operand: Any = None, cond: Any = None, fetch: bool = True) -> Future:
+        """Atomic memory operation at PE ``pe``.
+
+        ``op`` in {"add", "inc", "swap", "cswap", "set"}; fetching variants
+        return the OLD value. Non-fetching ops return a local-completion
+        future and count toward ``quiet``.
+        """
+        if op not in ("add", "inc", "swap", "cswap", "set"):
+            raise ShmemError(f"unknown atomic op {op!r}")
+        self._check_pe(pe)
+        self._check_bounds(target, index, 1, pe)
+        self.amos += 1
+        done = Promise(name=f"amo-{op}-{target.sym_id}@{pe}")
+        self._charge_cpu()
+        if fetch:
+            req_id = next(self._req_seq)
+            self._pending_resp[req_id] = done
+            payload = ("amo", op, target.sym_id, index, operand, cond,
+                       self.rank, req_id)
+            self.mux.transmit(pe, _CHANNEL, payload, _AMO_SIZE)
+        else:
+            self._outstanding += 1
+            payload = ("amo", op, target.sym_id, index, operand, cond,
+                       self.rank, None)
+            self.mux.transmit(
+                pe, _CHANNEL, payload, _AMO_SIZE,
+                on_injected=lambda t: done.put(None),
+            )
+        return done.get_future()
+
+    # ------------------------------------------------------------------
+    # ordering
+    # ------------------------------------------------------------------
+    def quiet(self) -> Future:
+        """Future satisfied when all previously-issued puts/AMOs from this PE
+        have completed remotely."""
+        done = Promise(name=f"quiet-pe{self.rank}")
+        if self._outstanding == 0:
+            done.put(None)
+        else:
+            self._quiet_waiters.append(done)
+        return done.get_future()
+
+    @property
+    def outstanding_remote(self) -> int:
+        return self._outstanding
+
+    # ------------------------------------------------------------------
+    # local-memory watchers (wait_until / shmem_async_when)
+    # ------------------------------------------------------------------
+    def watch(self, sym: SymArray, index: int, cmp: str, value: Any) -> Future:
+        """Future satisfied when ``sym[index] <cmp> value`` holds on this PE.
+
+        Checked immediately, then re-checked after every remote update that
+        touches ``sym``. Local stores by this PE's own tasks should go
+        through :meth:`local_update` to trigger re-checks.
+        """
+        try:
+            cmp_fn = CMP_OPS[cmp]
+        except KeyError:
+            raise ShmemError(
+                f"unknown comparison {cmp!r}; expected one of {sorted(CMP_OPS)}"
+            ) from None
+        arr = self.heap.resolve(sym.sym_id)
+        if not (0 <= index < arr.size):
+            raise ShmemError(f"watch index {index} out of bounds for {sym}")
+        done = Promise(name=f"wait_until-{sym.sym_id}[{index}]")
+
+        def probe() -> bool:
+            return bool(cmp_fn(arr.reshape(-1)[index], value))
+
+        if probe():
+            done.put(None)
+        else:
+            self._watchers.setdefault(sym.sym_id, []).append((probe, done))
+        return done.get_future()
+
+    def local_update(self, sym: SymArray, index, value) -> None:
+        """Store into local symmetric memory and re-evaluate watchers."""
+        arr = self.heap.resolve(sym.sym_id)
+        arr[index] = value
+        self._check_watchers(sym.sym_id)
+
+    def _check_watchers(self, sym_id: int) -> None:
+        watchers = self._watchers.get(sym_id)
+        if not watchers:
+            return
+        still = []
+        fire = []
+        for probe, promise in watchers:
+            if probe():
+                fire.append(promise)
+            else:
+                still.append((probe, promise))
+        if still:
+            self._watchers[sym_id] = still
+        else:
+            self._watchers.pop(sym_id, None)
+        for promise in fire:
+            promise.put(None)
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+    def _on_delivery(self, src: int, payload: Tuple, time: float) -> None:
+        kind = payload[0]
+        if kind == "put":
+            _, sym_id, offset, data, origin = payload
+            arr = self.heap.resolve(sym_id).reshape(-1)
+            arr[offset : offset + data.size] = data.reshape(-1)
+            self._peers[origin]._remote_completed()
+            self._check_watchers(sym_id)
+        elif kind == "get":
+            _, sym_id, offset, n, origin, req_id = payload
+            arr = self.heap.resolve(sym_id).reshape(-1)
+            data = arr[offset : offset + n].copy()
+            self.mux.transmit(
+                origin, _CHANNEL, ("resp", req_id, data),
+                int(data.nbytes) + _CTRL_SIZE,
+            )
+        elif kind == "amo":
+            _, op, sym_id, index, operand, cond, origin, req_id = payload
+            arr = self.heap.resolve(sym_id).reshape(-1)
+            old = arr[index].item()
+            if op == "add":
+                arr[index] = old + operand
+            elif op == "inc":
+                arr[index] = old + 1
+            elif op == "swap" or op == "set":
+                arr[index] = operand
+            elif op == "cswap":
+                if old == cond:
+                    arr[index] = operand
+            if req_id is not None:
+                self.mux.transmit(origin, _CHANNEL, ("resp", req_id, old), _AMO_SIZE)
+            else:
+                self._peers[origin]._remote_completed()
+            self._check_watchers(sym_id)
+        elif kind == "resp":
+            _, req_id, value = payload
+            promise = self._pending_resp.pop(req_id)
+            promise.put(value)
+        else:  # pragma: no cover - protocol corruption
+            raise ShmemError(f"unknown shmem wire message kind {kind!r}")
+
+    def _remote_completed(self) -> None:
+        self._outstanding -= 1
+        if self._outstanding == 0 and self._quiet_waiters:
+            waiters, self._quiet_waiters = self._quiet_waiters, []
+            for p in waiters:
+                p.put(None)
+
+    # ------------------------------------------------------------------
+    def _check_pe(self, pe: int) -> None:
+        if not (0 <= pe < self.nranks):
+            raise ShmemError(f"PE {pe} out of range [0, {self.nranks})")
+
+    def _check_bounds(self, sym: SymArray, offset: int, count: int, pe: int) -> None:
+        if offset < 0 or count < 0 or offset + count > sym.size:
+            raise ShmemError(
+                f"range [{offset}, {offset + count}) out of bounds for "
+                f"{sym} targeting PE {pe}"
+            )
+
+    def _charge_cpu(self) -> None:
+        ctx = current_context()
+        if ctx is not None and ctx.worker is not None:
+            ctx.executor.charge(self.mux.fabric.cpu_send_overhead())
+
+    def __repr__(self) -> str:
+        return (
+            f"ShmemBackend(pe={self.rank}/{self.nranks}, puts={self.puts}, "
+            f"gets={self.gets}, amos={self.amos}, outstanding={self._outstanding})"
+        )

@@ -1,0 +1,99 @@
+"""The symmetric heap: remotely-accessible memory with identical layout on
+every PE (processing element), as required by the OpenSHMEM specification.
+
+Allocation is a collective: every PE must call ``allocate`` in the same order
+with the same shape/dtype. Each allocation yields a :class:`SymArray` whose
+``sym_id`` is the cross-PE address — remote operations name
+``(sym_id, offset)`` instead of raw pointers. The harness's shared-state dict
+verifies symmetry across ranks and fails fast on divergence (a bug class that
+silently corrupts data in real SHMEM programs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.util.errors import ShmemError
+
+
+class SymArray:
+    """Handle to one symmetric allocation on the *local* PE."""
+
+    __slots__ = ("sym_id", "arr")
+
+    def __init__(self, sym_id: int, arr: np.ndarray):
+        self.sym_id = sym_id
+        self.arr = arr
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.arr.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.arr.dtype
+
+    @property
+    def size(self) -> int:
+        return int(self.arr.size)
+
+    def __getitem__(self, idx):
+        return self.arr[idx]
+
+    def __setitem__(self, idx, value):
+        self.arr[idx] = value
+
+    def __repr__(self) -> str:
+        return f"SymArray(id={self.sym_id}, shape={self.arr.shape}, dtype={self.arr.dtype})"
+
+
+class SymmetricHeap:
+    """Per-PE symmetric heap with cross-PE symmetry verification."""
+
+    def __init__(self, rank: int, shared_signatures: Optional[Dict] = None):
+        self.rank = rank
+        self._arrays: Dict[int, np.ndarray] = {}
+        self._next_id = 0
+        # Shared across all ranks of a run (same dict object): sym_id ->
+        # (shape, dtype-str) of the first allocator, for symmetry checks.
+        self._signatures = shared_signatures if shared_signatures is not None else {}
+
+    def allocate(self, shape, dtype=np.int64, fill: Any = 0) -> SymArray:
+        """Collective symmetric allocation (call in the same order on all PEs)."""
+        arr = np.full(shape, fill, dtype=dtype)
+        sym_id = self._next_id
+        self._next_id += 1
+        sig = (arr.shape, str(arr.dtype))
+        existing = self._signatures.get(sym_id)
+        if existing is None:
+            self._signatures[sym_id] = sig
+        elif existing != sig:
+            raise ShmemError(
+                f"asymmetric allocation: PE {self.rank} allocated sym_id "
+                f"{sym_id} as {sig} but another PE allocated {existing}; "
+                "shmem allocations must be collective and identical"
+            )
+        self._arrays[sym_id] = arr
+        return SymArray(sym_id, arr)
+
+    def free(self, sym: SymArray) -> None:
+        if sym.sym_id not in self._arrays:
+            raise ShmemError(f"double free of sym_id {sym.sym_id} on PE {self.rank}")
+        del self._arrays[sym.sym_id]
+
+    def resolve(self, sym_id: int) -> np.ndarray:
+        try:
+            return self._arrays[sym_id]
+        except KeyError:
+            raise ShmemError(
+                f"PE {self.rank}: no symmetric allocation with id {sym_id} "
+                "(freed, or allocation order diverged across PEs)"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    def __repr__(self) -> str:
+        return f"SymmetricHeap(rank={self.rank}, live={len(self._arrays)})"

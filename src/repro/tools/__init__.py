@@ -1,0 +1,6 @@
+"""Tooling enabled by unified scheduling (paper §V): execution tracing,
+module time attribution, Chrome-trace export."""
+
+from repro.tools.trace import TraceEvent, TraceRecorder
+
+__all__ = ["TraceEvent", "TraceRecorder"]

@@ -1,0 +1,133 @@
+"""Execution tracing — the paper's §V tooling claim, implemented.
+
+"Like any unified scheduler, the HiPER runtime is aware of all of the work
+executing on a system. Hooks have been added ... which enable programmers to
+gather statistics on time spent in calls to different modules."
+
+A :class:`TraceRecorder` attached to an executor records one event per
+executed task segment: (rank, worker, module, task name, virtual start/end).
+Under help-first blocking, a blocked task's segment spans the tasks its
+worker helped with, so segments may nest (and utilization can read > 1).
+From that single stream it derives:
+
+- per-module time attribution (who used the machine),
+- per-worker utilization timelines,
+- a Chrome-trace JSON export (``chrome://tracing`` / Perfetto) for visual
+  inspection of the unified schedule.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    rank: int
+    worker: int
+    module: str
+    name: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Collects task-segment events; attach via ``executor.attach_tracer``."""
+
+    def __init__(self, max_events: int = 1_000_000):
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    # called by the executor around every task segment
+    def record(self, rank: int, worker: int, module: str, name: str,
+               start: float, end: float) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(rank, worker, module, name, start, end))
+
+    # ------------------------------------------------------------------
+    # analyses
+    # ------------------------------------------------------------------
+    def module_times(self) -> Dict[str, float]:
+        """Virtual seconds attributed to each module (paper §V)."""
+        out: Dict[str, float] = defaultdict(float)
+        for ev in self.events:
+            out[ev.module] += ev.duration
+        return dict(out)
+
+    def worker_busy(self) -> Dict[Tuple[int, int], float]:
+        """(rank, worker) -> total busy virtual seconds."""
+        out: Dict[Tuple[int, int], float] = defaultdict(float)
+        for ev in self.events:
+            out[(ev.rank, ev.worker)] += ev.duration
+        return dict(out)
+
+    def utilization(self, makespan: Optional[float] = None) -> float:
+        """Mean busy fraction over all workers that appear in the trace."""
+        busy = self.worker_busy()
+        if not busy:
+            return 0.0
+        if makespan is None:
+            makespan = max((ev.end for ev in self.events), default=0.0)
+        if makespan <= 0:
+            return 0.0
+        return sum(busy.values()) / (len(busy) * makespan)
+
+    def top_tasks(self, n: int = 10) -> List[Tuple[str, float, int]]:
+        """Heaviest task names: (name, total seconds, count)."""
+        totals: Dict[str, List[float]] = defaultdict(lambda: [0.0, 0])
+        for ev in self.events:
+            rec = totals[ev.name]
+            rec[0] += ev.duration
+            rec[1] += 1
+        ranked = sorted(totals.items(), key=lambda kv: -kv[1][0])[:n]
+        return [(name, t, int(c)) for name, (t, c) in ranked]
+
+    def summary(self) -> str:
+        lines = [f"trace: {len(self.events)} events"
+                 + (f" (+{self.dropped} dropped)" if self.dropped else "")]
+        lines.append("module attribution:")
+        for mod, t in sorted(self.module_times().items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {mod:>12s}: {t * 1e3:10.4f} ms")
+        lines.append(f"mean worker utilization: {self.utilization():.1%}")
+        lines.append("heaviest tasks:")
+        for name, t, c in self.top_tasks(5):
+            lines.append(f"  {name:>24s}: {t * 1e3:10.4f} ms over {c} runs")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_chrome_trace(self) -> str:
+        """Chrome-trace ("trace event") JSON: one row per (rank, worker)."""
+        rows = []
+        for ev in self.events:
+            rows.append({
+                "name": ev.name,
+                "cat": ev.module,
+                "ph": "X",
+                "ts": ev.start * 1e6,
+                "dur": ev.duration * 1e6,
+                "pid": ev.rank,
+                "tid": ev.worker,
+            })
+        return json.dumps({"traceEvents": rows, "displayTimeUnit": "ms"})
+
+    def save_chrome_trace(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_chrome_trace())
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"TraceRecorder(events={len(self.events)}, dropped={self.dropped})"

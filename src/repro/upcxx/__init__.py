@@ -1,0 +1,6 @@
+"""The HiPER UPC++ module: global pointers, rput/rget futures, RPCs."""
+
+from repro.upcxx.backend import GlobalPtr, UpcxxBackend
+from repro.upcxx.module import SharedArray, UpcxxModule, upcxx_factory
+
+__all__ = ["GlobalPtr", "UpcxxBackend", "SharedArray", "UpcxxModule", "upcxx_factory"]

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the pyhiper reproduction.
+
+All library-raised exceptions derive from :class:`HiperError` so callers can
+catch framework failures without masking programming errors (``TypeError``
+etc. propagate unchanged).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+class HiperError(Exception):
+    """Base class for all errors raised by the pyhiper framework."""
+
+
+class ConfigError(HiperError):
+    """An invalid runtime, platform, or module configuration was supplied."""
+
+
+class PlatformError(HiperError):
+    """The platform model graph is malformed or a lookup failed."""
+
+
+class ModuleError(HiperError):
+    """A pluggable module failed to initialize, finalize, or register."""
+
+
+class CommError(HiperError):
+    """A communication substrate (MPI/SHMEM/UPC++ backends) failed."""
+
+
+class RuntimeStateError(HiperError):
+    """An API was called from an illegal runtime state.
+
+    Examples: spawning a task after shutdown, calling ``charge()`` outside a
+    task, re-entering ``finish`` from a finalizer.
+    """
+
+
+class PromiseError(HiperError):
+    """Promise/future misuse, e.g. double ``put`` on a single-assignment promise."""
+
+
+class DeadlockError(HiperError):
+    """The executor proved that no further progress is possible.
+
+    Raised by the simulated executor when every worker is idle, the event
+    queue is empty, and at least one task remains blocked on an unsatisfied
+    future or an open finish scope.
+    """
+
+    def __init__(self, message: str, blocked: Optional[Iterable[str]] = None):
+        self.blocked = list(blocked) if blocked is not None else []
+        if self.blocked:
+            message = f"{message}; blocked entities: {', '.join(self.blocked)}"
+        super().__init__(message)
+
+
+class GpuError(HiperError):
+    """Simulated CUDA device misuse (bad handle, exhausted memory, ...)."""
+
+
+class ShmemError(CommError):
+    """OpenSHMEM-module specific failure (bad symmetric address, ...)."""
+
+
+class MpiError(CommError):
+    """MPI-module specific failure (type mismatch, truncation, ...)."""
+
+
+class UpcxxError(CommError):
+    """UPC++-module specific failure (bad global pointer, ...)."""

@@ -1,0 +1,114 @@
+"""Runtime statistics hooks (paper §V "Discussion": unified-scheduler tooling).
+
+The HiPER paper notes that because the runtime schedules *all* work, it can
+attribute time to modules and expose semantic performance information. This
+module provides that instrumentation layer: counters, timers keyed by
+(module, operation), and per-worker activity accounting.
+
+Stats are cheap enough to stay always-on in simulation; the threaded executor
+can disable them via :class:`StatsConfig`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Dict, Iterator, Optional, Tuple
+
+
+@dataclasses.dataclass
+class StatsConfig:
+    enabled: bool = True
+    track_per_worker: bool = True
+
+
+@dataclasses.dataclass
+class TimerRecord:
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+
+    def add(self, elapsed: float) -> None:
+        self.count += 1
+        self.total += elapsed
+        if elapsed > self.max:
+            self.max = elapsed
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class RuntimeStats:
+    """Aggregated counters/timers for one runtime instance (one rank).
+
+    Keys are ``(module, operation)`` tuples; the core runtime uses module
+    ``"core"``. Module implementations report through
+    :meth:`count`/:meth:`time`, mirroring the hooks described in paper §V.
+    """
+
+    def __init__(self, config: Optional[StatsConfig] = None):
+        self.config = config or StatsConfig()
+        self.counters: Dict[Tuple[str, str], int] = defaultdict(int)
+        self.timers: Dict[Tuple[str, str], TimerRecord] = defaultdict(TimerRecord)
+        self.worker_busy: Dict[int, float] = defaultdict(float)
+        self.worker_idle: Dict[int, float] = defaultdict(float)
+
+    # -- recording -----------------------------------------------------
+    def count(self, module: str, op: str, n: int = 1) -> None:
+        if self.config.enabled:
+            self.counters[(module, op)] += n
+
+    def time(self, module: str, op: str, elapsed: float) -> None:
+        if self.config.enabled:
+            self.timers[(module, op)].add(elapsed)
+
+    def worker_activity(self, worker_id: int, busy: float = 0.0, idle: float = 0.0) -> None:
+        if self.config.enabled and self.config.track_per_worker:
+            if busy:
+                self.worker_busy[worker_id] += busy
+            if idle:
+                self.worker_idle[worker_id] += idle
+
+    # -- reading -------------------------------------------------------
+    def counter(self, module: str, op: str) -> int:
+        return self.counters.get((module, op), 0)
+
+    def timer(self, module: str, op: str) -> TimerRecord:
+        return self.timers.get((module, op), TimerRecord())
+
+    def module_time(self, module: str) -> float:
+        """Total time attributed to one module across all its operations."""
+        return sum(rec.total for (mod, _), rec in self.timers.items() if mod == module)
+
+    def modules(self) -> Iterator[str]:
+        seen = set()
+        for mod, _ in list(self.counters) + list(self.timers):
+            if mod not in seen:
+                seen.add(mod)
+                yield mod
+
+    def merge(self, other: "RuntimeStats") -> None:
+        """Fold another rank's stats into this one (for cluster-wide reports)."""
+        for k, v in other.counters.items():
+            self.counters[k] += v
+        for k, rec in other.timers.items():
+            mine = self.timers[k]
+            mine.count += rec.count
+            mine.total += rec.total
+            mine.max = max(mine.max, rec.max)
+        for k, v in other.worker_busy.items():
+            self.worker_busy[k] += v
+        for k, v in other.worker_idle.items():
+            self.worker_idle[k] += v
+
+    def report(self) -> str:
+        """Human-readable module/operation breakdown."""
+        lines = ["module/operation breakdown:"]
+        for (mod, op), rec in sorted(self.timers.items()):
+            lines.append(
+                f"  {mod:>10s}.{op:<24s} n={rec.count:<8d} total={rec.total:.6f}s mean={rec.mean:.3e}s"
+            )
+        for (mod, op), n in sorted(self.counters.items()):
+            lines.append(f"  {mod:>10s}.{op:<24s} count={n}")
+        return "\n".join(lines)

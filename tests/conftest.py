@@ -1,0 +1,42 @@
+"""Shared fixtures for the pyhiper test suite."""
+
+import pytest
+
+from repro.exec.sim import SimExecutor
+from repro.exec.threaded import ThreadedExecutor
+from repro.platform.hwloc import discover, machine
+from repro.runtime.runtime import HiperRuntime
+
+
+@pytest.fixture
+def sim_rt():
+    """A started 4-worker runtime on the simulated executor."""
+    ex = SimExecutor()
+    model = discover(machine("workstation"), num_workers=4)
+    rt = HiperRuntime(model, ex).start()
+    yield rt
+    rt.shutdown()
+    ex.shutdown()
+
+
+@pytest.fixture
+def sim_rt1():
+    """A started single-worker runtime on the simulated executor."""
+    ex = SimExecutor()
+    model = discover(machine("workstation"), num_workers=1)
+    rt = HiperRuntime(model, ex).start()
+    yield rt
+    rt.shutdown()
+    ex.shutdown()
+
+
+@pytest.fixture
+def threaded_rt():
+    """A started 4-worker runtime on real OS threads."""
+    ex = ThreadedExecutor(block_timeout=20.0)
+    model = discover(machine("workstation"), num_workers=4,
+                     with_interconnect=False)
+    rt = HiperRuntime(model, ex).start()
+    yield rt
+    rt.shutdown()
+    ex.shutdown()

@@ -1,0 +1,149 @@
+"""GEO stencil application: kernel math, workload determinism, and all three
+variants validated against the serial reference."""
+
+import numpy as np
+import pytest
+
+from repro.apps.geo import (
+    GeoConfig,
+    check_result,
+    geo_main,
+    initial_slab,
+    reference_solution,
+    stencil_planes,
+)
+from repro.apps.geo.common import C0, C1, plane_compute_seconds
+from repro.distrib import ClusterConfig, spmd_run
+from repro.cuda import cuda_factory
+from repro.mpi import mpi_factory
+from repro.platform import machine
+from repro.util.errors import ConfigError
+
+
+def run_geo(variant, cfg, nranks=2, workers=4):
+    cluster = ClusterConfig(nodes=nranks, ranks_per_node=1,
+                            workers_per_rank=workers,
+                            machine=machine("titan"))
+    return spmd_run(geo_main(variant, cfg), cluster,
+                    module_factories=[mpi_factory(), cuda_factory()])
+
+
+class TestKernel:
+    def test_stencil_is_convex_average(self):
+        assert C0 + 6 * C1 == pytest.approx(1.0)
+
+    def test_single_cell_update(self):
+        src = np.zeros((3, 3, 3))
+        src[1, 1, 1] = 1.0
+        dst = np.zeros_like(src)
+        stencil_planes(src, dst, 1, 2)
+        assert dst[1, 1, 1] == pytest.approx(C0)
+
+    def test_neighbor_contributions(self):
+        src = np.zeros((3, 3, 3))
+        src[0, 1, 1] = 1.0  # z-below neighbor
+        src[2, 1, 1] = 2.0  # z-above
+        dst = np.zeros_like(src)
+        stencil_planes(src, dst, 1, 2)
+        assert dst[1, 1, 1] == pytest.approx(3.0 * C1)
+
+    def test_dirichlet_edges_do_not_wrap(self):
+        src = np.ones((3, 4, 4))
+        dst = np.zeros_like(src)
+        stencil_planes(src, dst, 1, 2)
+        # corner cell has 2 zero neighbors (one x face, one y face)
+        assert dst[1, 0, 0] == pytest.approx(C0 + 4 * C1)
+        # interior x/y cell has all 6 neighbors
+        assert dst[1, 1, 1] == pytest.approx(C0 + 6 * C1)
+
+    def test_conservation_under_interior_average(self):
+        # with all-ones field and full neighborhood, value is preserved
+        src = np.ones((5, 6, 6))
+        dst = np.zeros_like(src)
+        stencil_planes(src, dst, 2, 3)
+        assert dst[2, 2, 2] == pytest.approx(1.0)
+
+
+class TestWorkload:
+    def test_initial_slab_deterministic_per_rank(self):
+        cfg = GeoConfig(nx=4, ny=4, nz=4)
+        a = initial_slab(cfg, 1, 4)
+        b = initial_slab(cfg, 1, 4)
+        c = initial_slab(cfg, 2, 4)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_halo_planes_zero_initial(self):
+        cfg = GeoConfig(nx=4, ny=4, nz=4)
+        s = initial_slab(cfg, 0, 2)
+        assert np.all(s[0] == 0) and np.all(s[-1] == 0)
+
+    def test_reference_matches_per_rank_decomposition(self):
+        cfg = GeoConfig(nx=5, ny=4, nz=4, timesteps=3)
+        ref2 = reference_solution(cfg, 2)
+        assert ref2.shape == (8, 5, 4)
+
+    def test_cost_helper_scales(self):
+        cfg = GeoConfig(nx=8, ny=8, nz=8)
+        assert plane_compute_seconds(cfg, 2, 1e9) == pytest.approx(
+            2 * 64 * 8.0 / 1e9)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            GeoConfig(nx=2, ny=8, nz=8)
+        with pytest.raises(ConfigError):
+            GeoConfig(timesteps=0)
+
+    def test_unknown_variant(self):
+        with pytest.raises(ConfigError, match="unknown GEO variant"):
+            geo_main("openacc", GeoConfig())
+
+
+class TestVariantsCorrectness:
+    @pytest.mark.parametrize("variant", ["mpi_omp", "mpi_cuda", "hiper"])
+    def test_matches_serial_reference(self, variant):
+        cfg = GeoConfig(nx=8, ny=6, nz=6, timesteps=4)
+        res = run_geo(variant, cfg, nranks=3)
+        check_result(cfg, res.results)
+
+    @pytest.mark.parametrize("variant", ["mpi_omp", "mpi_cuda", "hiper"])
+    def test_single_rank(self, variant):
+        cfg = GeoConfig(nx=6, ny=6, nz=6, timesteps=3)
+        res = run_geo(variant, cfg, nranks=1)
+        check_result(cfg, res.results)
+
+    def test_many_ranks_thin_slabs(self):
+        cfg = GeoConfig(nx=6, ny=6, nz=4, timesteps=3)
+        res = run_geo("mpi_omp", cfg, nranks=6, workers=2)
+        check_result(cfg, res.results)
+
+    def test_hiper_rejects_too_thin_slab(self):
+        cfg = GeoConfig(nx=6, ny=6, nz=3, timesteps=1)
+        with pytest.raises(ConfigError, match="nz >= 4"):
+            run_geo("hiper", cfg, nranks=2)
+
+    def test_variants_agree_bitwise(self):
+        cfg = GeoConfig(nx=6, ny=6, nz=8, timesteps=3)
+        outs = {}
+        for v in ("mpi_omp", "mpi_cuda", "hiper"):
+            res = run_geo(v, cfg, nranks=2)
+            outs[v] = np.concatenate(res.results, axis=0)
+        assert np.array_equal(outs["mpi_omp"], outs["mpi_cuda"])
+        assert np.array_equal(outs["mpi_omp"], outs["hiper"])
+
+
+class TestVariantsTiming:
+    def test_hiper_not_slower_than_blocking_cuda_baseline(self):
+        """Fig. 6 shape: the future-based composition beats the version with
+        blocking cudaMemcpy in the critical path."""
+        cfg = GeoConfig(nx=16, ny=16, nz=16, timesteps=4)
+        t_cuda = run_geo("mpi_cuda", cfg, nranks=2).makespan
+        t_hiper = run_geo("hiper", cfg, nranks=2).makespan
+        assert t_hiper < t_cuda
+
+    def test_weak_scaling_flatish(self):
+        """Weak scaling: makespan grows only mildly with rank count."""
+        cfg = GeoConfig(nx=8, ny=8, nz=8, timesteps=3)
+        t2 = run_geo("mpi_omp", cfg, nranks=2).makespan
+        t6 = run_geo("mpi_omp", cfg, nranks=6).makespan
+        assert t6 < t2 * 2.0

@@ -1,0 +1,112 @@
+"""UTS: tree generation determinism and all three variants counting the
+exact tree size under distributed load balancing."""
+
+import pytest
+
+from repro.apps.uts import (
+    UtsConfig,
+    child_count,
+    children,
+    pack,
+    root_node,
+    sequential_count,
+    unpack,
+    uts_main,
+)
+from repro.distrib import ClusterConfig, spmd_run
+from repro.platform import machine
+from repro.shmem import shmem_factory
+from repro.util.errors import ConfigError
+
+
+def run_uts(variant, cfg, nodes=4, workers=2):
+    cluster = ClusterConfig(nodes=nodes, ranks_per_node=1,
+                            workers_per_rank=workers,
+                            machine=machine("titan"))
+    return spmd_run(uts_main(variant, cfg), cluster,
+                    module_factories=[shmem_factory()])
+
+
+class TestTree:
+    def test_root_children_exact(self):
+        cfg = UtsConfig(root_children=17)
+        assert child_count(cfg, root_node(cfg)) == 17
+
+    def test_children_deterministic(self):
+        cfg = UtsConfig()
+        node = children(cfg, root_node(cfg))[3]
+        assert children(cfg, node) == children(cfg, node)
+
+    def test_distinct_children_states(self):
+        cfg = UtsConfig(root_children=50)
+        kids = children(cfg, root_node(cfg))
+        states = {s for s, _ in kids}
+        assert len(states) == 50
+
+    def test_depth_cap_terminates(self):
+        cfg = UtsConfig(max_depth=3)
+        assert child_count(cfg, (12345, 3)) == 0
+
+    def test_sequential_count_deterministic(self):
+        cfg = UtsConfig(root_children=30, mean_children=0.7)
+        assert sequential_count(cfg) == sequential_count(cfg)
+
+    def test_expected_size_scales_with_mean(self):
+        small = sequential_count(UtsConfig(root_children=50, mean_children=0.5))
+        big = sequential_count(UtsConfig(root_children=50, mean_children=0.9))
+        assert big > small
+
+    def test_pack_unpack_round_trip(self):
+        for node in [(0, 0), (2**63 + 5, 17), (2**64 - 1, 255)]:
+            lane0, lane1 = pack(node)
+            assert -(2**63) <= lane0 < 2**63
+            assert unpack(lane0, lane1) == node
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            UtsConfig(mean_children=1.0)
+        with pytest.raises(ConfigError):
+            UtsConfig(root_children=0)
+        with pytest.raises(ConfigError):
+            UtsConfig(chunk=0)
+
+    def test_unknown_variant(self):
+        with pytest.raises(ConfigError, match="unknown UTS variant"):
+            uts_main("cilk", UtsConfig())
+
+
+class TestVariants:
+    CFG = UtsConfig(root_children=120, mean_children=0.9, seed=11)
+
+    @pytest.mark.parametrize("variant", ["hiper", "shmem_omp", "omp_tasks"])
+    def test_counts_exact(self, variant):
+        oracle = sequential_count(self.CFG)
+        res = run_uts(variant, self.CFG, nodes=4)
+        assert sum(res.results) == oracle
+
+    @pytest.mark.parametrize("variant", ["hiper", "shmem_omp", "omp_tasks"])
+    def test_single_rank(self, variant):
+        oracle = sequential_count(self.CFG)
+        res = run_uts(variant, self.CFG, nodes=1)
+        assert res.results == [oracle]
+
+    def test_work_actually_distributes(self):
+        cfg = UtsConfig(root_children=600, mean_children=0.93, seed=3)
+        res = run_uts("hiper", cfg, nodes=4, workers=4)
+        assert sum(res.results) == sequential_count(cfg)
+        assert sum(1 for r in res.results if r > 0) >= 2
+
+    def test_deterministic_makespan(self):
+        a = run_uts("hiper", self.CFG, nodes=2).makespan
+        b = run_uts("hiper", self.CFG, nodes=2).makespan
+        assert a == b
+
+
+class TestTimingShape:
+    def test_locked_stealing_slower_at_scale(self):
+        """Fig. 7 shape: lock-based distributed balancing degrades relative
+        to the lock-free HiPER variant as ranks multiply."""
+        cfg = UtsConfig(root_children=800, mean_children=0.95, seed=7)
+        hiper = run_uts("hiper", cfg, nodes=8, workers=4).makespan
+        locked = run_uts("shmem_omp", cfg, nodes=8, workers=4).makespan
+        assert locked > hiper

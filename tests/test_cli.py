@@ -1,0 +1,43 @@
+"""The ``python -m repro`` reproduction driver."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "validate" in out
+
+    def test_platform_json(self, capsys):
+        assert main(["platform", "titan", "--detail", "flat"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["num_workers"] == 16
+        assert any(p["type"] == "gpu_mem" for p in doc["places"])
+
+    def test_figure_small_sweep(self, capsys):
+        assert main(["fig6", "--nodes", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 6" in out and "hiper" in out and "mpi_cuda" in out
+
+    def test_g500_small_sweep(self, capsys):
+        assert main(["g500", "--nodes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Graph500" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") == 5 and "FAIL" not in out
+
+    def test_parser_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

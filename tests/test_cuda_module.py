@@ -1,0 +1,261 @@
+"""CUDA module: simulated device semantics, streams, copy handlers,
+forasync_cuda, and roofline timing."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import CudaModule, SimGpu, cuda_factory
+from repro.distrib import ClusterConfig, spmd_run
+from repro.exec.sim import SimExecutor
+from repro.platform import discover, machine
+from repro.runtime.api import async_copy, now
+from repro.runtime.runtime import HiperRuntime
+from repro.util.errors import ConfigError, GpuError
+
+
+def run(main, workers=4):
+    cfg = ClusterConfig(nodes=1, ranks_per_node=1, workers_per_rank=workers,
+                        machine=machine("titan"))
+    return spmd_run(main, cfg, module_factories=[cuda_factory()])
+
+
+class TestDeviceMemory:
+    def make_gpu(self):
+        return SimGpu(SimExecutor(), mem_bytes=1 << 20)
+
+    def test_malloc_zeroed(self):
+        gpu = self.make_gpu()
+        d = gpu.malloc(16, np.float64)
+        assert np.all(d.data == 0) and d.nbytes == 128
+
+    def test_capacity_enforced(self):
+        gpu = self.make_gpu()
+        gpu.malloc(1 << 17, np.uint8)
+        with pytest.raises(GpuError, match="cudaMalloc"):
+            gpu.malloc(1 << 20, np.uint8)
+
+    def test_free_releases_capacity(self):
+        gpu = self.make_gpu()
+        d = gpu.malloc(1 << 19, np.uint8)
+        gpu.free(d)
+        gpu.malloc(1 << 19, np.uint8)  # fits again
+
+    def test_double_free_rejected(self):
+        gpu = self.make_gpu()
+        d = gpu.malloc(8)
+        gpu.free(d)
+        with pytest.raises(GpuError, match="double free"):
+            gpu.free(d)
+
+    def test_use_after_free_rejected(self):
+        gpu = self.make_gpu()
+        d = gpu.malloc(8)
+        gpu.free(d)
+        with pytest.raises(GpuError, match="freed"):
+            gpu.copy_h2d(d, np.zeros(8))
+
+    def test_cross_device_op_rejected(self):
+        ex = SimExecutor()
+        g0, g1 = SimGpu(ex, 0), SimGpu(ex, 1)
+        d = g0.malloc(8)
+        with pytest.raises(GpuError, match="belongs to device"):
+            g1.copy_h2d(d, np.zeros(8))
+
+
+class TestTransfersAndKernels:
+    def test_h2d_kernel_d2h_round_trip(self):
+        def main(ctx):
+            cu = ctx.cuda
+            h = np.arange(64, dtype=np.float64)
+            d = cu.malloc(64)
+            out = np.zeros(64)
+            yield cu.memcpy_async(d, h)
+            yield cu.kernel_async(lambda: np.sqrt(d.data, out=d.data),
+                                  flops=64, bytes_moved=64 * 16)
+            yield cu.memcpy_async(out, d)
+            return bool(np.allclose(out, np.sqrt(h)))
+
+        assert run(main).results == [True]
+
+    def test_blocking_memcpy(self):
+        def main(ctx):
+            cu = ctx.cuda
+            h = np.full(8, 3.0)
+            d = cu.malloc(8)
+            cu.memcpy(d, h)  # blocking spelling (plain main, single wait ok)
+            return float(d.data.sum())
+
+        assert run(main).results == [24.0]
+
+    def test_stream_fifo_ordering(self):
+        def main(ctx):
+            cu = ctx.cuda
+            d = cu.malloc(4)
+            # same stream: kernel then copy must observe kernel's writes
+            cu.kernel_async(lambda: d.data.__setitem__(slice(None), 5.0),
+                            flops=100, stream=2)
+            out = np.zeros(4)
+            f = cu.memcpy_async(out, d, stream=2)
+            yield f
+            return out.tolist()
+
+        assert run(main).results == [[5.0] * 4]
+
+    def test_different_streams_overlap_copies_and_kernels(self):
+        def main(ctx):
+            cu = ctx.cuda
+            dev = cu.device()
+            big = 6 * 10**6  # ~1ms each over 6GB/s PCIe
+            d1 = cu.malloc(big, np.uint8)
+            h = np.zeros(big, np.uint8)
+            t0 = now()
+            f1 = cu.memcpy_async(d1, h, stream=1)
+            f2 = cu.kernel_async(lambda: None, flops=dev.flops * 1e-3, stream=2)
+            yield f1
+            yield f2
+            return now() - t0
+
+        elapsed = run(main).results[0]
+        # overlap: total well under the 2ms serial sum
+        assert elapsed < 1.7e-3
+
+    def test_kernel_serialization_on_compute_engine(self):
+        def main(ctx):
+            cu = ctx.cuda
+            dev = cu.device()
+            t0 = now()
+            fs = [cu.kernel_async(lambda: None, flops=dev.flops * 1e-3,
+                                  stream=s) for s in range(4)]
+            for f in fs:
+                yield f
+            return now() - t0
+
+        elapsed = run(main).results[0]
+        assert elapsed >= 4e-3  # kernels serialize even across streams
+
+    def test_forasync_cuda_executes_vectorized_body(self):
+        def main(ctx):
+            cu = ctx.cuda
+            d = cu.malloc(100)
+            yield cu.forasync_cuda(100, lambda idx: np.add.at(d.data, idx, idx))
+            out = np.zeros(100)
+            yield cu.memcpy_async(out, d)
+            return bool(np.allclose(out, np.arange(100.0)))
+
+        assert run(main).results == [True]
+
+    def test_kernel_await_futures_defers_launch(self):
+        def main(ctx):
+            from repro.runtime.api import async_future, charge
+            cu = ctx.cuda
+            d = cu.malloc(4)
+            dep = async_future(lambda: charge(2e-3))
+            f = cu.kernel_async(lambda: d.data.__setitem__(0, 1.0),
+                                flops=1, await_futures=[dep])
+            yield f
+            return now() >= 2e-3 and d.data[0] == 1.0
+
+        assert run(main).results == [True]
+
+    def test_failed_dependency_fails_kernel_future(self):
+        def main(ctx):
+            from repro.runtime.api import async_future
+            cu = ctx.cuda
+            bad = async_future(lambda: 1 / 0)
+            f = cu.kernel_async(lambda: None, await_futures=[bad])
+            try:
+                yield f
+            except ZeroDivisionError:
+                return "propagated"
+            return "missed"
+
+        assert run(main).results == ["propagated"]
+
+    def test_memcpy_without_device_array_rejected(self):
+        def main(ctx):
+            ctx.cuda.memcpy_async(np.zeros(4), np.zeros(4))
+
+        with pytest.raises(ConfigError, match="DeviceArray"):
+            run(main)
+
+    def test_oversized_copy_rejected(self):
+        def main(ctx):
+            cu = ctx.cuda
+            d = cu.malloc(4)
+            cu.memcpy_async(d, np.zeros(100))
+
+        with pytest.raises(ConfigError, match="copy_h2d"):
+            run(main)
+
+
+class TestCopyHandlers:
+    def test_async_copy_dispatches_to_cuda_module(self):
+        def main(ctx):
+            cu, rt = ctx.cuda, ctx.runtime
+            h = np.full(32, 2.5)
+            d = cu.malloc(32)
+            yield async_copy(d, cu.gpu_place(), h, rt.sysmem, h.nbytes,
+                             runtime=rt)
+            back = np.zeros(32)
+            yield async_copy(back, rt.sysmem, d, cu.gpu_place(), back.nbytes,
+                             runtime=rt)
+            return bool(np.allclose(back, 2.5))
+
+        res = run(main)
+        assert res.results == [True]
+        stats = res.contexts[0].runtime.stats
+        assert stats.counter("cuda", "async_copy_h2d") == 1
+        assert stats.counter("cuda", "async_copy_d2h") == 1
+
+    def test_wrong_buffer_type_for_gpu_place(self):
+        def main(ctx):
+            cu, rt = ctx.cuda, ctx.runtime
+            yield async_copy(np.zeros(4), cu.gpu_place(), np.zeros(4),
+                             rt.sysmem, 32, runtime=rt)
+
+        with pytest.raises(ConfigError, match="DeviceArray"):
+            run(main)
+
+
+class TestTimingModel:
+    def test_pcie_bandwidth_dominates_large_copies(self):
+        def main(ctx):
+            cu = ctx.cuda
+            n = 12 * 10**6  # 12 MB over 6 GB/s -> ~2 ms
+            d = cu.malloc(n, np.uint8)
+            t0 = now()
+            yield cu.memcpy_async(d, np.zeros(n, np.uint8))
+            return now() - t0
+
+        elapsed = run(main).results[0]
+        assert elapsed == pytest.approx(2e-3, rel=0.1)
+
+    def test_kernel_roofline_compute_bound(self):
+        def main(ctx):
+            cu = ctx.cuda
+            dev = cu.device()
+            t0 = now()
+            yield cu.kernel_async(lambda: None, flops=dev.flops * 5e-3)
+            return now() - t0
+
+        elapsed = run(main).results[0]
+        assert elapsed == pytest.approx(5e-3, rel=0.05)
+
+    def test_kernel_roofline_bandwidth_bound(self):
+        def main(ctx):
+            cu = ctx.cuda
+            dev = cu.device()
+            t0 = now()
+            yield cu.kernel_async(lambda: None, flops=1.0,
+                                  bytes_moved=dev.mem_bw * 3e-3)
+            return now() - t0
+
+        elapsed = run(main).results[0]
+        assert elapsed == pytest.approx(3e-3, rel=0.05)
+
+    def test_module_requires_gpu_place(self):
+        ex = SimExecutor()
+        model = discover(machine("edison"), num_workers=2)  # no GPU
+        rt = HiperRuntime(model, ex)
+        with pytest.raises(Exception, match="gpu_mem"):
+            rt.start([CudaModule()])

@@ -1,0 +1,97 @@
+"""FinishScope counting semantics and TaskGroupError formatting."""
+
+import pytest
+
+from repro.runtime.finish import FinishScope, TaskGroupError
+from repro.util.errors import HiperError
+
+
+class TestCounting:
+    def test_opener_hold_and_close(self):
+        s = FinishScope(name="s")
+        assert s.pending == 1 and not s.quiescent
+        s.close()
+        assert s.quiescent
+
+    def test_tasks_delay_quiescence(self):
+        s = FinishScope()
+        s.task_spawned()
+        s.task_spawned()
+        s.close()
+        assert not s.quiescent
+        s.task_completed()
+        assert not s.quiescent
+        s.task_completed()
+        assert s.quiescent
+
+    def test_completion_before_close(self):
+        s = FinishScope()
+        s.task_spawned()
+        s.task_completed()
+        assert not s.quiescent  # opener still holds
+        s.close()
+        assert s.quiescent
+
+    def test_double_close_rejected(self):
+        s = FinishScope(name="dbl")
+        s.close()
+        with pytest.raises(HiperError, match="twice"):
+            s.close()
+
+    def test_spawn_into_joined_scope_rejected(self):
+        s = FinishScope(name="done")
+        s.close()
+        with pytest.raises(HiperError, match="joined"):
+            s.task_spawned()
+
+    def test_all_done_future_carries_time(self):
+        s = FinishScope()
+        s.close()
+        assert s.all_done_future().satisfied
+
+    def test_parent_chain(self):
+        a = FinishScope(name="a")
+        b = FinishScope(parent=a, name="b")
+        assert b.parent is a
+
+
+class TestExceptionCollection:
+    def test_single_exception_reraised_bare(self):
+        s = FinishScope()
+        s.task_spawned()
+        s.task_completed(ValueError("only"))
+        s.close()
+        with pytest.raises(ValueError, match="only"):
+            s.raise_collected()
+
+    def test_multiple_wrapped_in_group(self):
+        s = FinishScope()
+        for i in range(7):
+            s.task_spawned()
+            s.task_completed(KeyError(f"k{i}"))
+        s.close()
+        with pytest.raises(TaskGroupError) as exc_info:
+            s.raise_collected()
+        err = exc_info.value
+        assert len(err.exceptions) == 7
+        assert "7 tasks failed" in str(err)
+        assert "+2 more" in str(err)  # message truncates at 5
+
+    def test_collected_cleared_after_raise(self):
+        s = FinishScope()
+        s.task_spawned()
+        s.task_completed(ValueError("x"))
+        s.close()
+        with pytest.raises(ValueError):
+            s.raise_collected()
+        s.raise_collected()  # nothing left: no raise
+
+    def test_no_exceptions_no_raise(self):
+        s = FinishScope()
+        s.close()
+        s.raise_collected()
+
+    def test_repr_mentions_state(self):
+        s = FinishScope(name="visible")
+        assert "visible" in repr(s)
+        assert "pending=1" in repr(s)

@@ -1,0 +1,159 @@
+"""Promises/futures: single assignment, callbacks, combinators, waiting."""
+
+import pytest
+
+from repro.runtime.api import async_, async_future, finish
+from repro.runtime.future import (
+    Future,
+    Promise,
+    satisfied_future,
+    when_all,
+    when_any,
+)
+from repro.util.errors import PromiseError
+
+
+class TestPromiseBasics:
+    def test_put_then_value(self):
+        p = Promise("x")
+        p.put(41)
+        assert p.get_future().value() == 41
+
+    def test_put_none_default(self):
+        p = Promise()
+        p.put()
+        assert p.get_future().value() is None
+
+    def test_double_put_raises(self):
+        p = Promise("dup")
+        p.put(1)
+        with pytest.raises(PromiseError, match="twice"):
+            p.put(2)
+
+    def test_put_after_put_exception_raises(self):
+        p = Promise()
+        p.put_exception(ValueError("boom"))
+        with pytest.raises(PromiseError):
+            p.put(1)
+
+    def test_put_exception_requires_exception(self):
+        with pytest.raises(TypeError):
+            Promise().put_exception("not an exception")
+
+    def test_value_before_put_raises(self):
+        with pytest.raises(PromiseError, match="before satisfaction"):
+            Promise("early").get_future().value()
+
+    def test_exception_rethrown_on_value(self):
+        p = Promise()
+        p.put_exception(RuntimeError("kaput"))
+        with pytest.raises(RuntimeError, match="kaput"):
+            p.get_future().value()
+
+    def test_shared_future_handle(self):
+        p = Promise()
+        assert p.get_future() is p.get_future()
+
+
+class TestCallbacks:
+    def test_callback_after_put_runs_immediately(self):
+        p = Promise()
+        p.put(7)
+        seen = []
+        p.get_future().on_ready(lambda f: seen.append(f.value()))
+        assert seen == [7]
+
+    def test_callbacks_run_in_registration_order(self):
+        p = Promise()
+        order = []
+        f = p.get_future()
+        f.on_ready(lambda _: order.append("a"))
+        f.on_ready(lambda _: order.append("b"))
+        p.put(None)
+        assert order == ["a", "b"]
+
+    def test_callback_runs_exactly_once(self):
+        p = Promise()
+        count = [0]
+        p.get_future().on_ready(lambda _: count.__setitem__(0, count[0] + 1))
+        p.put(None)
+        assert count[0] == 1
+
+
+class TestCombinators:
+    def test_satisfied_future(self):
+        f = satisfied_future(13)
+        assert f.satisfied and f.value() == 13
+
+    def test_when_all_values_in_order(self):
+        ps = [Promise() for _ in range(3)]
+        combined = when_all([p.get_future() for p in ps])
+        ps[2].put("c")
+        ps[0].put("a")
+        assert not combined.satisfied
+        ps[1].put("b")
+        assert combined.value() == ["a", "b", "c"]
+
+    def test_when_all_empty(self):
+        assert when_all([]).value() == []
+
+    def test_when_all_propagates_failure(self):
+        ps = [Promise(), Promise()]
+        combined = when_all([p.get_future() for p in ps])
+        ps[0].put_exception(KeyError("bad"))
+        ps[1].put(1)
+        with pytest.raises(KeyError):
+            combined.value()
+
+    def test_when_any_first_wins(self):
+        ps = [Promise(), Promise()]
+        combined = when_any([p.get_future() for p in ps])
+        ps[1].put("late-binding")
+        assert combined.value() == (1, "late-binding")
+        ps[0].put("ignored")  # must not double-fire
+        assert combined.value() == (1, "late-binding")
+
+    def test_when_any_empty_rejected(self):
+        with pytest.raises(PromiseError):
+            when_any([])
+
+
+class TestWaitInTasks:
+    def test_wait_returns_value(self, sim_rt):
+        def main():
+            f = async_future(lambda: 10 * 2)
+            return f.wait() + f.get()
+
+        assert sim_rt.run(main) == 40
+
+    def test_wait_reraises_task_exception(self, sim_rt):
+        def boom():
+            raise ValueError("inner")
+
+        def main():
+            f = async_future(boom)
+            with pytest.raises(ValueError, match="inner"):
+                f.get()
+            return "survived"
+
+        assert sim_rt.run(main) == "survived"
+
+    def test_wait_outside_any_context_raises(self):
+        p = Promise()
+        from repro.util.errors import RuntimeStateError
+        with pytest.raises(RuntimeStateError):
+            p.get_future().wait()
+
+    def test_done_time_tracks_virtual_time(self, sim_rt):
+        from repro.runtime.api import charge
+
+        def main():
+            f = async_future(lambda: charge(5e-3))
+            f.wait()
+            return f.done_time()
+
+        assert sim_rt.run(main) == pytest.approx(5e-3)
+
+    def test_done_time_before_satisfaction_raises(self):
+        with pytest.raises(PromiseError):
+            Promise().get_future().done_time()

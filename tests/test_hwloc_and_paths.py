@@ -1,0 +1,174 @@
+"""Synthetic hwloc discovery and pop/steal path policies."""
+
+import pytest
+
+from repro.platform.hwloc import MACHINES, GpuSpec, MachineSpec, discover, machine
+from repro.platform.paths import (
+    WorkerPaths,
+    custom_paths,
+    dedicated_comm_paths,
+    default_paths,
+    flat_paths,
+    make_paths,
+)
+from repro.platform.place import PlaceType
+from repro.util.errors import ConfigError
+
+
+class TestMachineSpecs:
+    def test_known_machines_present(self):
+        assert {"edison", "titan", "workstation"} <= set(MACHINES)
+
+    def test_edison_core_count(self):
+        assert machine("edison").cores == 24
+
+    def test_titan_has_gpu(self):
+        spec = machine("titan")
+        assert spec.gpus == 1
+        assert spec.gpu is not None and spec.gpu.flops > 1e12
+
+    def test_unknown_machine_raises(self):
+        with pytest.raises(ConfigError, match="known machines"):
+            machine("summit")
+
+    def test_gpu_spec_defaulted_when_gpus_positive(self):
+        spec = MachineSpec(name="x", gpus=2)
+        assert isinstance(spec.gpu, GpuSpec)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineSpec(name="x", sockets=0)
+
+
+class TestDiscover:
+    def test_flat_detail_place_set(self):
+        m = discover(machine("workstation"), detail="flat")
+        kinds = {p.kind for p in m}
+        assert kinds == {PlaceType.SYSTEM_MEM, PlaceType.GPU_MEM,
+                         PlaceType.INTERCONNECT}
+
+    def test_numa_detail_has_l3_per_socket(self):
+        m = discover(machine("edison"), detail="numa")
+        assert len(m.places_of_type(PlaceType.L3_CACHE)) == 2
+
+    def test_full_detail_has_l1_l2_per_core(self):
+        spec = machine("workstation")
+        m = discover(spec, detail="full")
+        assert len(m.places_of_type(PlaceType.L1_CACHE)) == spec.cores
+        assert len(m.places_of_type(PlaceType.L2_CACHE)) == spec.cores
+
+    def test_default_workers_equal_cores(self):
+        m = discover(machine("titan"))
+        assert m.num_workers == machine("titan").cores
+
+    def test_worker_override(self):
+        m = discover(machine("titan"), num_workers=3)
+        assert m.num_workers == 3
+
+    def test_no_interconnect_option(self):
+        m = discover(machine("workstation"), with_interconnect=False)
+        assert not m.has_type(PlaceType.INTERCONNECT)
+
+    def test_nvm_and_disk_places(self):
+        spec = MachineSpec(name="x", nvm_bytes=1 << 30, disks=2)
+        m = discover(spec)
+        assert m.has_type(PlaceType.NVM)
+        assert len(m.places_of_type(PlaceType.DISK)) == 2
+
+    def test_discovered_model_validates(self):
+        for name in MACHINES:
+            for detail in ("flat", "numa", "full"):
+                discover(machine(name), detail=detail).validate()
+
+    def test_bad_detail_rejected(self):
+        with pytest.raises(ConfigError, match="detail"):
+            discover(machine("workstation"), detail="ultra")
+
+
+class TestDefaultPaths:
+    def test_only_comm_worker_sees_interconnect(self):
+        m = discover(machine("workstation"), num_workers=4)
+        paths = default_paths(m)
+        nic = m.first_of_type(PlaceType.INTERCONNECT)
+        assert paths.workers_covering(nic) == [0]
+
+    def test_comm_worker_configurable(self):
+        m = discover(machine("workstation"), num_workers=4)
+        paths = default_paths(m, comm_worker=2)
+        nic = m.first_of_type(PlaceType.INTERCONNECT)
+        assert paths.workers_covering(nic) == [2]
+
+    def test_every_worker_reaches_sysmem_and_gpu(self):
+        m = discover(machine("titan"), num_workers=4)
+        paths = default_paths(m)
+        for w in range(4):
+            kinds = {p.kind for p in paths.pop[w]}
+            assert PlaceType.SYSTEM_MEM in kinds
+            assert PlaceType.GPU_MEM in kinds
+
+    def test_full_detail_pop_path_starts_at_own_l1(self):
+        m = discover(machine("workstation"), detail="full")
+        paths = default_paths(m)
+        for w in range(m.num_workers):
+            assert paths.pop[w][0].name == f"core{w}.l1"
+
+    def test_validates_against_model(self):
+        m = discover(machine("workstation"), num_workers=4)
+        default_paths(m).validate(m)
+
+
+class TestOtherPolicies:
+    def test_flat_paths_minimal(self):
+        m = discover(machine("edison"), num_workers=4, detail="numa")
+        paths = flat_paths(m)
+        # no cache places on any path
+        for w in range(4):
+            assert all(p.kind is not PlaceType.L3_CACHE for p in paths.pop[w])
+
+    def test_dedicated_comm_worker_only_sees_interconnect(self):
+        m = discover(machine("workstation"), num_workers=4)
+        paths = dedicated_comm_paths(m)
+        assert [p.kind for p in paths.pop[0]] == [PlaceType.INTERCONNECT]
+        nic = m.first_of_type(PlaceType.INTERCONNECT)
+        assert paths.workers_covering(nic) == [0]
+
+    def test_dedicated_requires_interconnect(self):
+        m = discover(machine("workstation"), with_interconnect=False)
+        with pytest.raises(ConfigError):
+            dedicated_comm_paths(m)
+
+    def test_make_paths_by_name(self):
+        m = discover(machine("workstation"), num_workers=2)
+        assert make_paths(m, "default").num_workers == 2
+        with pytest.raises(ConfigError, match="unknown path policy"):
+            make_paths(m, "bogus")
+
+    def test_custom_paths_from_names(self):
+        m = discover(machine("workstation"), num_workers=2, detail="flat")
+        paths = custom_paths(
+            m,
+            [["sysmem", "interconnect"], ["sysmem", "gpu0"]],
+            [["sysmem"], ["sysmem", "gpu0"]],
+        )
+        paths.validate(m)
+        assert paths.pop[0][1].kind is PlaceType.INTERCONNECT
+
+    def test_custom_paths_worker_count_mismatch(self):
+        m = discover(machine("workstation"), num_workers=3)
+        with pytest.raises(ConfigError, match="workers"):
+            custom_paths(m, [["sysmem"]], [["sysmem"]])
+
+    def test_uncovered_place_rejected(self):
+        m = discover(machine("workstation"), num_workers=1)
+        paths = WorkerPaths([[m.place("sysmem")]], [[m.place("sysmem")]])
+        with pytest.raises(ConfigError, match="no worker"):
+            paths.validate(m)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ConfigError, match="non-empty"):
+            WorkerPaths([[]], [[]])
+
+    def test_mismatched_pop_steal_lengths(self):
+        m = discover(machine("workstation"), num_workers=1)
+        with pytest.raises(ConfigError, match="equal length"):
+            WorkerPaths([[m.place("sysmem")]], [])

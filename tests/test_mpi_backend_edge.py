@@ -1,0 +1,153 @@
+"""MPI backend edge semantics: unexpected-message queue, truncation,
+wildcard/posted ordering, request misuse, and collective tag isolation."""
+
+import numpy as np
+import pytest
+
+from repro.exec.sim import SimExecutor
+from repro.mpi.backend import ANY_SOURCE, ANY_TAG, MpiBackend, MpiRequest
+from repro.net.costmodel import NetworkModel
+from repro.net.fabric import SimFabric
+from repro.net.mux import FabricMux
+from repro.util.errors import MpiError
+
+
+def make_world(n=2):
+    ex = SimExecutor()
+    fab = SimFabric(ex, n, NetworkModel())
+    muxes = [FabricMux(fab, r) for r in range(n)]
+    backends = [MpiBackend(m, r) for r, m in enumerate(muxes)]
+    return ex, backends
+
+
+class TestUnexpectedQueue:
+    def test_early_send_matched_by_late_recv(self):
+        ex, (a, b) = make_world()
+        a.isend("early", 1, tag=3)
+        ex.drain()  # delivered before any recv posted -> unexpected queue
+        assert b.unexpected_count == 1
+        req = b.irecv(src=0, tag=3)
+        assert req.test()
+        assert req.value[0] == "early"
+        assert b.unexpected_count == 0
+
+    def test_unexpected_matched_in_arrival_order(self):
+        ex, (a, b) = make_world()
+        for i in range(4):
+            a.isend(i, 1, tag=9)
+        ex.drain()
+        got = [b.irecv(tag=9).value[0] for _ in range(4)]
+        assert got == [0, 1, 2, 3]
+
+    def test_posted_recvs_matched_in_post_order(self):
+        ex, (a, b) = make_world()
+        r1 = b.irecv(src=ANY_SOURCE, tag=ANY_TAG)
+        r2 = b.irecv(src=ANY_SOURCE, tag=ANY_TAG)
+        a.isend("first", 1, tag=1)
+        a.isend("second", 1, tag=2)
+        ex.drain()
+        assert r1.value[0] == "first" and r2.value[0] == "second"
+
+    def test_selective_recv_skips_nonmatching_unexpected(self):
+        ex, (a, b) = make_world()
+        a.isend("tagA", 1, tag=10)
+        a.isend("tagB", 1, tag=20)
+        ex.drain()
+        req = b.irecv(tag=20)
+        assert req.value[0] == "tagB"
+        assert b.unexpected_count == 1  # tagA still waiting
+
+
+class TestBuffersAndErrors:
+    def test_truncation_detected(self):
+        ex, (a, b) = make_world()
+        buf = np.zeros(2, dtype=np.int64)
+        b.irecv(src=0, tag=0, buffer=buf)
+        a.isend(np.arange(10, dtype=np.int64), 1, tag=0)
+        with pytest.raises(MpiError, match="truncation"):
+            ex.drain()
+
+    def test_buffer_type_mismatch(self):
+        ex, (a, b) = make_world()
+        b.irecv(src=0, tag=0, buffer=np.zeros(4))
+        a.isend("not an array", 1, tag=0)
+        with pytest.raises(MpiError, match="carries"):
+            ex.drain()
+
+    def test_request_value_before_completion(self):
+        req = MpiRequest("irecv")
+        with pytest.raises(MpiError, match="before completion"):
+            _ = req.value
+
+    def test_double_completion_rejected(self):
+        req = MpiRequest("isend")
+        req._complete(None, 0.0)
+        with pytest.raises(MpiError, match="twice"):
+            req._complete(None, 0.0)
+
+    def test_internal_future_after_completion(self):
+        req = MpiRequest("isend")
+        req._complete("val", 1.0)
+        assert req.internal_future().value() == "val"
+
+    def test_bad_peer_and_tag(self):
+        _, (a, _b) = make_world()
+        with pytest.raises(MpiError, match="out of range"):
+            a.isend(1, 99)
+        with pytest.raises(MpiError, match="negative user tag"):
+            a.isend(1, 1, tag=-1)
+
+
+class TestCollectiveTagSpace:
+    def test_internal_tags_do_not_match_user_wildcards(self):
+        """A posted wildcard recv must not swallow internal collective
+        traffic... by convention: internal tags are >= 1<<28 and wildcard
+        CAN match them — so the backends allocate them identically on every
+        rank and collectives never interleave with user wildcards in the
+        supported usage (one collective at a time per communicator). This
+        test pins the allocation behavior."""
+        _, (a, b) = make_world()
+        t1, t2 = a.next_collective_tag(), a.next_collective_tag()
+        assert t2 == t1 + 1
+        assert t1 >= (1 << 28)
+        # both ranks allocate the same sequence
+        assert b.next_collective_tag() == t1
+
+    def test_comm_field_isolates(self):
+        ex, (a, b) = make_world()
+        r_comm1 = b.irecv(src=0, tag=5, comm=1)
+        a.isend("comm0", 1, tag=5, comm=0)
+        ex.drain()
+        assert not r_comm1.test()
+        assert b.unexpected_count == 1
+        r_comm0 = b.irecv(src=0, tag=5, comm=0)
+        assert r_comm0.test()
+
+
+class TestSelfMessaging:
+    def test_send_to_self(self):
+        ex, (a, _b) = make_world()
+        req = a.irecv(src=0, tag=7)
+        a.isend({"self": True}, 0, tag=7)
+        ex.drain()
+        assert req.value[0] == {"self": True}
+
+    def test_payload_nbytes_estimates(self):
+        from repro.mpi.backend import _payload_nbytes
+
+        assert _payload_nbytes(np.zeros(10, np.int64)) == 80
+        assert _payload_nbytes(b"abcd") == 4
+        assert _payload_nbytes(None) == 0
+        assert _payload_nbytes({"any": "object"}) == 64
+
+    def test_snapshot_semantics(self):
+        from repro.mpi.backend import _snapshot
+
+        arr = np.ones(3)
+        snap = _snapshot(arr)
+        arr[:] = 0
+        assert np.all(snap == 1)
+        ba = bytearray(b"xy")
+        snap2 = _snapshot(ba)
+        ba[0] = 0
+        assert snap2 == b"xy"

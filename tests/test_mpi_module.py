@@ -1,0 +1,302 @@
+"""MPI module: matching semantics, taskify/polling flows, collectives."""
+
+import numpy as np
+import pytest
+
+from repro.distrib import ClusterConfig, spmd_run
+from repro.mpi import ANY_SOURCE, ANY_TAG, mpi_factory
+from repro.util.errors import ConfigError
+
+
+def run(main, nranks=4, workers=2, **cfg_kwargs):
+    cfg = ClusterConfig(nodes=nranks, ranks_per_node=1,
+                        workers_per_rank=workers, **cfg_kwargs)
+    return spmd_run(main, cfg, module_factories=[mpi_factory()])
+
+
+class TestPointToPoint:
+    def test_ring_isend_irecv(self):
+        def main(ctx):
+            me, n = ctx.rank, ctx.nranks
+            fs = ctx.mpi.isend(me, (me + 1) % n, tag=1)
+            data, src, tag = yield ctx.mpi.irecv(src=(me - 1) % n, tag=1)
+            yield fs
+            return (data, src, tag)
+
+        res = run(main)
+        for r, (data, src, tag) in enumerate(res.results):
+            assert data == (r - 1) % 4 and src == (r - 1) % 4 and tag == 1
+
+    def test_blocking_send_recv_async_spellings(self):
+        def main(ctx):
+            me, n = ctx.rank, ctx.nranks
+            if me == 0:
+                yield ctx.mpi.send_async([1, 2, 3], 1, tag=9)
+                return "sent"
+            if me == 1:
+                data = yield ctx.mpi.recv_async(src=0, tag=9)
+                return data
+            return None
+
+        res = run(main, nranks=2)
+        assert res.results == ["sent", [1, 2, 3]]
+
+    def test_tag_matching_selects_correct_message(self):
+        def main(ctx):
+            me = ctx.rank
+            if me == 0:
+                ctx.mpi.isend("tag5", 1, tag=5)
+                ctx.mpi.isend("tag6", 1, tag=6)
+                return None
+            if me == 1:
+                d6, _, _ = yield ctx.mpi.irecv(src=0, tag=6)
+                d5, _, _ = yield ctx.mpi.irecv(src=0, tag=5)
+                return (d5, d6)
+            return None
+
+        res = run(main, nranks=2)
+        assert res.results[1] == ("tag5", "tag6")
+
+    def test_any_source_any_tag_wildcards(self):
+        def main(ctx):
+            me, n = ctx.rank, ctx.nranks
+            if me == 0:
+                got = []
+                for _ in range(n - 1):
+                    data, src, tag = yield ctx.mpi.irecv(src=ANY_SOURCE,
+                                                         tag=ANY_TAG)
+                    got.append((src, data))
+                return sorted(got)
+            else:
+                ctx.mpi.isend(me * 11, 0, tag=me)
+                return None
+
+        res = run(main)
+        assert res.results[0] == [(1, 11), (2, 22), (3, 33)]
+
+    def test_non_overtaking_same_src_tag(self):
+        def main(ctx):
+            me = ctx.rank
+            if me == 0:
+                for i in range(6):
+                    ctx.mpi.isend(i, 1, tag=3)
+                return None
+            got = []
+            for _ in range(6):
+                d, _, _ = yield ctx.mpi.irecv(src=0, tag=3)
+                got.append(d)
+            return got
+
+        res = run(main, nranks=2)
+        assert res.results[1] == list(range(6))
+
+    def test_numpy_payload_into_buffer(self):
+        def main(ctx):
+            me = ctx.rank
+            if me == 0:
+                ctx.mpi.isend(np.arange(8, dtype=np.int64), 1, tag=0)
+                return None
+            buf = np.zeros(16, dtype=np.int64)
+            data, _, _ = yield ctx.mpi.irecv(src=0, tag=0, buffer=buf)
+            assert data is buf
+            return buf[:8].tolist()
+
+        res = run(main, nranks=2)
+        assert res.results[1] == list(range(8))
+
+    def test_sender_buffer_reusable_after_isend(self):
+        def main(ctx):
+            me = ctx.rank
+            if me == 0:
+                buf = np.full(4, 7, dtype=np.int64)
+                f = ctx.mpi.isend(buf, 1, tag=0)
+                buf[:] = -1  # snapshot semantics: receiver must still see 7s
+                yield f
+                return None
+            data, _, _ = yield ctx.mpi.irecv(src=0, tag=0)
+            return data.tolist()
+
+        res = run(main, nranks=2)
+        assert res.results[1] == [7, 7, 7, 7]
+
+    def test_isend_await_chains_on_dependency(self):
+        def main(ctx):
+            me = ctx.rank
+            from repro.runtime.api import async_future, charge
+            if me == 0:
+                box = {"v": None}
+
+                def produce():
+                    charge(1e-3)
+                    box["v"] = 123
+
+                dep = async_future(produce)
+                f = ctx.mpi.isend_await(lambda: box["v"], 1, dep, tag=2)
+                yield f
+                return None
+            data, _, _ = yield ctx.mpi.irecv(src=0, tag=2)
+            return data
+
+        res = run(main, nranks=2)
+        assert res.results[1] == 123
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("nranks", [1, 2, 3, 4, 7, 8])
+    def test_allreduce_sum(self, nranks):
+        def main(ctx):
+            total = yield ctx.mpi.allreduce_async(ctx.rank + 1, lambda a, b: a + b)
+            return total
+
+        res = run(main, nranks=nranks, workers=1)
+        assert res.results == [nranks * (nranks + 1) // 2] * nranks
+
+    @pytest.mark.parametrize("root", [0, 1, 2])
+    def test_bcast_from_any_root(self, root):
+        def main(ctx):
+            val = yield ctx.mpi.bcast_async(
+                f"payload-{ctx.rank}" if ctx.rank == root else None, root=root)
+            return val
+
+        res = run(main, nranks=3, workers=1)
+        assert res.results == [f"payload-{root}"] * 3
+
+    def test_reduce_to_root_only(self):
+        def main(ctx):
+            v = yield ctx.mpi.reduce_async(2 ** ctx.rank, lambda a, b: a + b,
+                                           root=2)
+            return v
+
+        res = run(main)
+        assert res.results == [None, None, 15, None]
+
+    def test_gather_and_allgather(self):
+        def main(ctx):
+            g = yield ctx.mpi.gather_async(ctx.rank * 2, root=0)
+            ag = yield ctx.mpi.allgather_async(ctx.rank + 100)
+            return (g, ag)
+
+        res = run(main)
+        assert res.results[0][0] == [0, 2, 4, 6]
+        assert all(r[0] is None for r in res.results[1:])
+        assert all(r[1] == [100, 101, 102, 103] for r in res.results)
+
+    def test_scatter(self):
+        def main(ctx):
+            vals = [f"item{i}" for i in range(ctx.nranks)] if ctx.rank == 0 else None
+            mine = yield ctx.mpi.scatter_async(vals, root=0)
+            return mine
+
+        res = run(main)
+        assert res.results == [f"item{i}" for i in range(4)]
+
+    def test_alltoall_permutation(self):
+        def main(ctx):
+            me, n = ctx.rank, ctx.nranks
+            got = yield ctx.mpi.alltoall_async([me * 10 + d for d in range(n)])
+            return got
+
+        res = run(main)
+        for r, got in enumerate(res.results):
+            assert got == [s * 10 + r for s in range(4)]
+
+    def test_barrier_synchronizes_virtual_time(self):
+        from repro.runtime.api import charge, now
+
+        def main(ctx):
+            if ctx.rank == 0:
+                charge(5e-3)  # straggler
+            yield ctx.mpi.barrier_async()
+            return now()
+
+        res = run(main)
+        assert all(t >= 5e-3 for t in res.results)
+
+    def test_consecutive_collectives_do_not_crosstalk(self):
+        def main(ctx):
+            a = yield ctx.mpi.allreduce_async(1, lambda x, y: x + y)
+            b = yield ctx.mpi.allreduce_async(2, lambda x, y: x + y)
+            c = yield ctx.mpi.allgather_async(ctx.rank)
+            return (a, b, c)
+
+        res = run(main)
+        assert all(r == (4, 8, [0, 1, 2, 3]) for r in res.results)
+
+    def test_waitall(self):
+        def main(ctx):
+            me, n = ctx.rank, ctx.nranks
+            sends = [ctx.mpi.isend(me, d, tag=4) for d in range(n) if d != me]
+            recvs = [ctx.mpi.irecv(tag=4) for _ in range(n - 1)]
+            vals = yield ctx.mpi.waitall_future(recvs)
+            yield ctx.mpi.waitall_future(sends)
+            return sorted(v[0] for v in vals)
+
+        res = run(main)
+        for r, got in enumerate(res.results):
+            assert got == sorted(set(range(4)) - {r})
+
+
+class TestConfigurationErrors:
+    def test_funneled_assertion_rejects_flat_policy(self):
+        # "flat" paths put the interconnect on one worker only, so build a
+        # policy violation intentionally: dedicated_comm keeps one owner,
+        # so use a custom config where every worker sees the interconnect.
+        def main(ctx):
+            return None
+
+        cfg = ClusterConfig(nodes=1, ranks_per_node=1, workers_per_rank=2)
+        # default policy is funneled -> fine
+        spmd_run(main, cfg, module_factories=[mpi_factory()])
+
+    def test_rank_failure_surfaces_with_rank_id(self):
+        def main(ctx):
+            if ctx.rank == 2:
+                raise RuntimeError("rank2 exploded")
+            return 1
+
+        with pytest.raises(ConfigError, match="rank 2"):
+            run(main)
+
+    def test_peer_out_of_range(self):
+        def main(ctx):
+            ctx.mpi.isend(1, 99)
+
+        with pytest.raises(ConfigError, match="out of range"):
+            run(main)
+
+    def test_negative_user_tag_rejected(self):
+        def main(ctx):
+            ctx.mpi.isend(1, 0, tag=-3)
+
+        with pytest.raises(ConfigError, match="tag"):
+            run(main, nranks=2)
+
+
+class TestTimingShape:
+    def test_bigger_messages_take_longer(self):
+        def main_factory(nbytes):
+            def main(ctx):
+                if ctx.rank == 0:
+                    ctx.mpi.isend(np.zeros(nbytes, dtype=np.uint8), 1, tag=0)
+                    return None
+                yield ctx.mpi.irecv(src=0, tag=0)
+                return None
+            return main
+
+        small = run(main_factory(1_000), nranks=2).makespan
+        big = run(main_factory(1_000_000), nranks=2).makespan
+        assert big > small * 5
+
+    def test_hybrid_fewer_messages_than_flat_for_alltoall(self):
+        def main(ctx):
+            me, n = ctx.rank, ctx.nranks
+            yield ctx.mpi.alltoall_async([np.zeros(64) for _ in range(n)])
+            return None
+
+        flat = spmd_run(main, ClusterConfig(nodes=2, ranks_per_node=4,
+                                            workers_per_rank=1),
+                        module_factories=[mpi_factory()])
+        hybrid = spmd_run(main, ClusterConfig(nodes=2, ranks_per_node=1,
+                                              workers_per_rank=4),
+                          module_factories=[mpi_factory()])
+        assert flat.fabric.messages_sent > hybrid.fabric.messages_sent

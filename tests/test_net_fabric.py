@@ -1,0 +1,170 @@
+"""Network cost model, fabric timing/ordering, and the protocol mux."""
+
+import pytest
+
+from repro.exec.sim import SimExecutor
+from repro.net.costmodel import NETWORKS, NetworkModel, network
+from repro.net.fabric import SimFabric
+from repro.net.mux import FabricMux
+from repro.util.errors import CommError, ConfigError
+
+
+def make_fabric(nranks=4, ranks_per_node=1, net=None):
+    ex = SimExecutor()
+    fab = SimFabric(ex, nranks, net or NetworkModel(), ranks_per_node=ranks_per_node)
+    return ex, fab
+
+
+class TestNetworkModel:
+    def test_known_networks(self):
+        assert {"aries", "gemini", "generic"} <= set(NETWORKS)
+        assert network("gemini").bandwidth < network("aries").bandwidth
+
+    def test_unknown_network_raises(self):
+        with pytest.raises(ConfigError):
+            network("infiniband7")
+
+    def test_negative_parameter_rejected(self):
+        with pytest.raises(ConfigError):
+            NetworkModel(latency=-1.0)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ConfigError):
+            NetworkModel(bandwidth=0.0)
+
+    def test_serialization_time_scales_with_bytes(self):
+        net = NetworkModel(bandwidth=1e9, inj_overhead=1e-6)
+        assert net.serialization_time(1_000_000) == pytest.approx(1e-6 + 1e-3)
+
+    def test_intra_node_cheaper_than_inter(self):
+        net = NetworkModel()
+        n = 1 << 20
+        inter = 2 * net.serialization_time(n) + net.latency
+        assert net.intra_node_time(n) < inter
+
+
+class TestFabricDelivery:
+    def test_basic_delivery_time(self):
+        net = NetworkModel(latency=1e-6, bandwidth=1e9, inj_overhead=1e-6)
+        ex, fab = make_fabric(net=net)
+        seen = []
+        fab.register_sink(1, lambda src, p, t: seen.append((src, p, t)))
+        fab.transmit(0, 1, 1000, "hello")
+        ex.drain()
+        assert len(seen) == 1
+        src, payload, t = seen[0]
+        assert (src, payload) == (0, "hello")
+        # tx ser + latency + rx ser
+        assert t == pytest.approx(2 * (1e-6 + 1e-6) + 1e-6)
+
+    def test_pairwise_fifo_order(self):
+        ex, fab = make_fabric()
+        seen = []
+        fab.register_sink(1, lambda src, p, t: seen.append(p))
+        for i in range(10):
+            # shrinking sizes would tempt later messages to overtake
+            fab.transmit(0, 1, 10_000 - i * 1000, i)
+        ex.drain()
+        assert seen == list(range(10))
+
+    def test_intra_node_skips_nic(self):
+        net = NetworkModel(latency=1e-3, intra_latency=1e-7)
+        ex, fab = make_fabric(nranks=4, ranks_per_node=2, net=net)
+        times = {}
+        fab.register_sink(1, lambda s, p, t: times.__setitem__("intra", t))
+        fab.register_sink(2, lambda s, p, t: times.__setitem__("inter", t))
+        fab.transmit(0, 1, 100, "x")  # same node
+        fab.transmit(0, 2, 100, "y")  # crosses nodes
+        ex.drain()
+        assert times["intra"] < 1e-5 < times["inter"]
+
+    def test_self_send_immediate(self):
+        ex, fab = make_fabric()
+        seen = []
+        fab.register_sink(0, lambda s, p, t: seen.append(t))
+        fab.transmit(0, 0, 1 << 20, "self")
+        ex.drain()
+        assert seen == [0.0]
+
+    def test_nic_incast_serializes(self):
+        """Many senders to one node: deliveries spread by rx serialization."""
+        net = NetworkModel(latency=0.0, bandwidth=1e9, inj_overhead=1e-6)
+        ex, fab = make_fabric(nranks=9, net=net)
+        times = []
+        fab.register_sink(0, lambda s, p, t: times.append(t))
+        for src in range(1, 9):
+            fab.transmit(src, 0, 0, src)
+        ex.drain()
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(g == pytest.approx(1e-6) for g in gaps)
+
+    def test_injection_callback_before_delivery(self):
+        ex, fab = make_fabric()
+        events = []
+        fab.register_sink(1, lambda s, p, t: events.append(("deliver", t)))
+        fab.transmit(0, 1, 1 << 16, "m",
+                     on_injected=lambda t: events.append(("inject", t)))
+        ex.drain()
+        assert events[0][0] == "inject" and events[1][0] == "deliver"
+        assert events[0][1] < events[1][1]
+
+    def test_message_and_byte_counters(self):
+        ex, fab = make_fabric()
+        fab.register_sink(1, lambda s, p, t: None)
+        fab.transmit(0, 1, 500, "a")
+        fab.transmit(0, 1, 700, "b")
+        assert fab.messages_sent == 2
+        assert fab.bytes_sent == 1200
+
+    def test_missing_sink_raises(self):
+        ex, fab = make_fabric()
+        with pytest.raises(CommError, match="no registered message sink"):
+            fab.transmit(0, 2, 10, "x")
+
+    def test_duplicate_sink_rejected(self):
+        ex, fab = make_fabric()
+        fab.register_sink(0, lambda s, p, t: None)
+        with pytest.raises(CommError, match="already"):
+            fab.register_sink(0, lambda s, p, t: None)
+
+    def test_rank_bounds_checked(self):
+        ex, fab = make_fabric()
+        with pytest.raises(CommError, match="out of range"):
+            fab.transmit(0, 99, 10, "x")
+        with pytest.raises(CommError, match="negative"):
+            fab.register_sink(1, lambda s, p, t: None) or \
+                fab.transmit(0, 1, -5, "x")
+
+    def test_node_mapping(self):
+        ex, fab = make_fabric(nranks=8, ranks_per_node=4)
+        assert fab.nnodes == 2
+        assert fab.node_of(3) == 0 and fab.node_of(4) == 1
+
+
+class TestMux:
+    def test_channels_dispatch_independently(self):
+        ex, fab = make_fabric(nranks=2)
+        got = {"a": [], "b": []}
+        m0 = FabricMux(fab, 0)
+        m1 = FabricMux(fab, 1)
+        m1.register_channel("a", lambda s, p, t: got["a"].append(p))
+        m1.register_channel("b", lambda s, p, t: got["b"].append(p))
+        m0.register_channel("a", lambda s, p, t: None)
+        m0.register_channel("b", lambda s, p, t: None)
+        m0.transmit(1, "a", "to-a", 10)
+        m0.transmit(1, "b", "to-b", 10)
+        ex.drain()
+        assert got == {"a": ["to-a"], "b": ["to-b"]}
+
+    def test_unknown_channel_send_rejected(self):
+        ex, fab = make_fabric(nranks=2)
+        m0 = FabricMux(fab, 0)
+        with pytest.raises(CommError, match="unregistered"):
+            m0.transmit(1, "ghost", "x", 1)
+
+    def test_duplicate_channel_rejected(self):
+        ex, fab = make_fabric(nranks=2)
+        m0 = FabricMux(fab, 0)
+        m0.register_channel("a", lambda s, p, t: None)
+        with pytest.raises(CommError, match="already"):
+            m0.register_channel("a", lambda s, p, t: None)

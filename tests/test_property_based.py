@@ -1,0 +1,220 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.hpgmg.ops import prolong_fv, restrict_fv
+from repro.apps.isx.common import IsxConfig, bucket_width, route_keys
+from repro.apps.uts.common import pack, unpack
+from repro.platform.model import PlatformModel
+from repro.platform.place import PlaceType
+from repro.runtime.deques import WorkerDeque
+from repro.runtime.future import Promise, when_all
+from repro.util.rng import RngFactory, splitmix64
+
+_slow = settings(max_examples=25,
+                 suppress_health_check=[HealthCheck.too_slow], deadline=None)
+
+
+class TestDequeSemantics:
+    @given(st.lists(st.sampled_from(["push", "pop", "steal"]), max_size=200))
+    def test_matches_reference_model(self, ops):
+        """Owner pops newest (LIFO end), thieves steal oldest (FIFO end)."""
+        dq = WorkerDeque()
+        model = []
+        counter = 0
+        for op in ops:
+            if op == "push":
+                task = counter
+                counter += 1
+                dq._items.append(task)  # bypass Task typing for the model
+                model.append(task)
+            elif op == "pop":
+                got = dq.pop()
+                want = model.pop() if model else None
+                assert got == want
+            else:
+                got = dq.steal()
+                want = model.pop(0) if model else None
+                assert got == want
+        assert len(dq) == len(model)
+
+
+class TestRng:
+    @given(st.integers(0, 2**32), st.integers(0, 100), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_streams_reproducible(self, seed, a, b):
+        f = RngFactory(seed)
+        x = f.stream("k", a, b).random(4)
+        y = f.stream("k", a, b).random(4)
+        assert np.array_equal(x, y)
+
+    @given(st.integers(0, 2**32), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_distinct_keys_give_distinct_streams(self, seed, a):
+        f = RngFactory(seed)
+        x = f.stream("k", a).random(8)
+        y = f.stream("k", a + 1).random(8)
+        assert not np.array_equal(x, y)
+
+    @given(st.integers(0, 2**64 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_splitmix64_stays_in_range(self, x):
+        h = splitmix64(x)
+        assert 0 <= h < 2**64
+
+    def test_splitmix64_no_collisions_on_sample(self):
+        seen = {splitmix64(i) for i in range(10000)}
+        assert len(seen) == 10000
+
+
+class TestFuturesProperties:
+    @given(st.permutations(list(range(6))))
+    def test_when_all_any_satisfaction_order(self, order):
+        ps = [Promise() for _ in range(6)]
+        combined = when_all([p.get_future() for p in ps])
+        for i in order:
+            assert not combined.satisfied or i == order[-1]
+            ps[i].put(i * 10)
+        assert combined.value() == [i * 10 for i in range(6)]
+
+
+class TestPlatformProperties:
+    @given(st.integers(2, 12), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_json_round_trip_random_trees(self, n, data):
+        """Random connected graphs survive the JSON round trip exactly."""
+        m = PlatformModel("rand")
+        kinds = [PlaceType.SYSTEM_MEM, PlaceType.GPU_MEM, PlaceType.NVM,
+                 PlaceType.DISK, PlaceType.L3_CACHE]
+        places = [m.add_place(f"p{i}", kinds[i % len(kinds)], {"i": i})
+                  for i in range(n)]
+        # random spanning tree keeps it connected
+        for i in range(1, n):
+            j = data.draw(st.integers(0, i - 1))
+            m.add_edge(places[i], places[j])
+        extra = data.draw(st.integers(0, n))
+        for _ in range(extra):
+            a = data.draw(st.integers(0, n - 1))
+            b = data.draw(st.integers(0, n - 1))
+            if a != b and not m.has_edge(places[a], places[b]):
+                m.add_edge(places[a], places[b])
+        m2 = PlatformModel.from_json(m.to_json())
+        assert m2.to_json_dict() == m.to_json_dict()
+        assert m2.is_connected()
+
+    @given(st.integers(2, 10), st.integers(0, 9), st.integers(0, 9))
+    @settings(max_examples=30, deadline=None)
+    def test_shortest_path_endpoints_and_adjacency(self, n, a, b):
+        m = PlatformModel("chain")
+        places = [m.add_place(f"p{i}", PlaceType.SYSTEM_MEM if i == 0
+                              else PlaceType.NVM) for i in range(n)]
+        for i in range(1, n):
+            m.add_edge(places[i - 1], places[i])
+        src, dst = places[a % n], places[b % n]
+        path = m.shortest_path(src, dst)
+        assert path[0] is src and path[-1] is dst
+        assert len(path) == abs(a % n - b % n) + 1
+        for u, v in zip(path, path[1:]):
+            assert m.has_edge(u, v)
+
+
+class TestIsxProperties:
+    @given(st.integers(1, 32), st.integers(1, 2000), st.integers(2, 10**6))
+    @_slow
+    def test_route_conserves_and_respects_ranges(self, npes, nkeys, max_key):
+        cfg = IsxConfig(keys_per_pe=nkeys, max_key=max_key)
+        rng = np.random.default_rng(npes * 31 + nkeys)
+        keys = rng.integers(0, max_key, size=nkeys, dtype=np.int64)
+        grouped, counts = route_keys(cfg, npes, keys)
+        assert counts.sum() == nkeys
+        assert np.array_equal(np.sort(grouped), np.sort(keys))
+        w = bucket_width(cfg, npes)
+        pos = 0
+        for pe in range(npes):
+            block = grouped[pos : pos + counts[pe]]
+            if block.size:
+                assert block.min() >= pe * w and block.max() < (pe + 1) * w
+            pos += counts[pe]
+
+
+class TestUtsPackProperties:
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**31 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_pack_unpack_identity(self, state, depth):
+        lanes = pack((state, depth))
+        assert unpack(*lanes) == (state, depth)
+
+
+class TestHpgmgTransferProperties:
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4),
+           st.integers(0, 10**6))
+    @_slow
+    def test_variational_adjoint_identity(self, nz, nx, ny, seed):
+        """<P uc, rf> == 8 <uc, R rf> for arbitrary fields."""
+        rng = np.random.default_rng(seed)
+        uc = rng.standard_normal((nz, nx, ny))
+        rf = rng.standard_normal((2 * nz, 2 * nx, 2 * ny))
+        lhs = float(np.sum(prolong_fv(uc) * rf))
+        rhs = 8.0 * float(np.sum(uc * restrict_fv(rf)))
+        assert lhs == pytest.approx(rhs, rel=1e-10, abs=1e-10)
+
+    @given(st.integers(1, 4), st.integers(0, 10**6))
+    @_slow
+    def test_prolong_preserves_constants_in_the_interior(self, n, seed):
+        uc = np.ones((n + 2, n + 2, n + 2))
+        fine = prolong_fv(uc)
+        # away from the zero-ghost boundary the interpolant of 1 is 1
+        inner = fine[2:-2, 2:-2, 2:-2]
+        assert np.allclose(inner, 1.0)
+
+
+class TestFabricProperties:
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=40),
+           st.integers(0, 3))
+    @_slow
+    def test_pairwise_fifo_any_sizes(self, sizes, dst):
+        from repro.exec.sim import SimExecutor
+        from repro.net.costmodel import NetworkModel
+        from repro.net.fabric import SimFabric
+
+        ex = SimExecutor()
+        fab = SimFabric(ex, 5, NetworkModel())
+        seen = []
+        for r in range(5):
+            if r == (dst + 1) % 5:
+                fab.register_sink(r, lambda s, p, t: seen.append(p))
+            else:
+                fab.register_sink(r, lambda s, p, t: None)
+        for i, nbytes in enumerate(sizes):
+            fab.transmit(dst, (dst + 1) % 5, nbytes, i)
+        ex.drain()
+        assert seen == list(range(len(sizes)))
+
+
+class TestCollectiveProperties:
+    @given(st.integers(1, 9), st.lists(st.integers(-100, 100), min_size=9,
+                                       max_size=9))
+    @_slow
+    def test_allreduce_equals_functools_reduce(self, nranks, values):
+        from functools import reduce as freduce
+
+        from repro.distrib import ClusterConfig, spmd_run
+        from repro.mpi import mpi_factory
+
+        vals = values[:nranks]
+
+        def main(ctx):
+            out = yield ctx.mpi.allreduce_async(
+                vals[ctx.rank], lambda a, b: a + b)
+            return out
+
+        res = spmd_run(
+            main,
+            ClusterConfig(nodes=nranks, ranks_per_node=1, workers_per_rank=1),
+            module_factories=[mpi_factory()],
+        )
+        want = freduce(lambda a, b: a + b, vals)
+        assert res.results == [want] * nranks

@@ -1,0 +1,363 @@
+"""OpenSHMEM module: symmetric heap, one-sided ops, atomics, wait-until,
+shmem_async_when, collectives, locks."""
+
+import numpy as np
+import pytest
+
+from repro.distrib import ClusterConfig, spmd_run
+from repro.shmem import shmem_factory
+from repro.shmem.heap import SymmetricHeap
+from repro.util.errors import ConfigError, ShmemError
+
+
+def run(main, nranks=4, workers=2, ranks_per_node=1, **mod_kwargs):
+    cfg = ClusterConfig(nodes=nranks // ranks_per_node or 1,
+                        ranks_per_node=ranks_per_node,
+                        workers_per_rank=workers)
+    return spmd_run(main, cfg, module_factories=[shmem_factory(**mod_kwargs)])
+
+
+class TestSymmetricHeap:
+    def test_allocation_symmetry_checked(self):
+        shared = {}
+        h0 = SymmetricHeap(0, shared)
+        h1 = SymmetricHeap(1, shared)
+        h0.allocate(8, np.int64)
+        with pytest.raises(ShmemError, match="asymmetric"):
+            h1.allocate(9, np.int64)
+
+    def test_free_and_double_free(self):
+        h = SymmetricHeap(0)
+        a = h.allocate(4)
+        h.free(a)
+        with pytest.raises(ShmemError, match="double free"):
+            h.free(a)
+
+    def test_resolve_after_free_raises(self):
+        h = SymmetricHeap(0)
+        a = h.allocate(4)
+        h.free(a)
+        with pytest.raises(ShmemError, match="no symmetric allocation"):
+            h.resolve(a.sym_id)
+
+    def test_fill_value(self):
+        h = SymmetricHeap(0)
+        a = h.allocate(5, np.float64, fill=2.5)
+        assert np.all(a.arr == 2.5)
+
+    def test_indexing_passthrough(self):
+        h = SymmetricHeap(0)
+        a = h.allocate(5)
+        a[2] = 9
+        assert a[2] == 9 and a.size == 5
+
+
+class TestPutGet:
+    def test_put_visible_after_barrier(self):
+        def main(ctx):
+            sh = ctx.shmem
+            me, n = ctx.rank, ctx.nranks
+            dest = sh.malloc(n)
+            yield sh.barrier_all_async()
+            for pe in range(n):
+                yield sh.put_async(dest, np.array([me + 1]), pe, offset=me)
+            yield sh.barrier_all_async()
+            return dest.arr.tolist()
+
+        res = run(main)
+        assert all(r == [1, 2, 3, 4] for r in res.results)
+
+    def test_get_round_trip(self):
+        def main(ctx):
+            sh = ctx.shmem
+            me, n = ctx.rank, ctx.nranks
+            data = sh.malloc(4, np.float64)
+            data.arr[:] = me * 1.5
+            yield sh.barrier_all_async()
+            got = yield sh.get_async(data, (me + 1) % n)
+            return got.tolist()
+
+        res = run(main)
+        for r, got in enumerate(res.results):
+            assert got == [((r + 1) % 4) * 1.5] * 4
+
+    def test_put_out_of_bounds_rejected(self):
+        def main(ctx):
+            sh = ctx.shmem
+            a = sh.malloc(4)
+            yield sh.put_async(a, np.arange(10), 0)
+
+        with pytest.raises(ConfigError, match="out of bounds"):
+            run(main, nranks=2)
+
+    def test_put_local_completion_allows_buffer_reuse(self):
+        def main(ctx):
+            sh = ctx.shmem
+            me, n = ctx.rank, ctx.nranks
+            tgt = sh.malloc(2)
+            yield sh.barrier_all_async()
+            buf = np.array([55, 66])
+            f = sh.put_async(tgt, buf, (me + 1) % n)
+            buf[:] = 0  # snapshot semantics
+            yield f
+            yield sh.barrier_all_async()
+            return tgt.arr.tolist()
+
+        res = run(main)
+        assert all(r == [55, 66] for r in res.results)
+
+    def test_quiet_waits_for_remote_completion(self):
+        def main(ctx):
+            sh = ctx.shmem
+            me, n = ctx.rank, ctx.nranks
+            tgt = sh.malloc(1)
+            yield sh.barrier_all_async()
+            if me == 0:
+                yield sh.put_async(tgt, np.array([1]), 1)
+                yield sh.quiet_async()
+                # after quiet, the value is remotely visible: signal via 2nd put
+                yield sh.put_async(tgt, np.array([2]), 1, offset=0)
+            if me == 1:
+                yield sh.wait_until_async(tgt, "eq", 2)
+                return int(tgt.arr[0])
+            yield sh.barrier_all_async()  # others
+            return None
+
+        # ranks 0/1 skip the final barrier; run with exactly 2 ranks
+        def main2(ctx):
+            sh = ctx.shmem
+            me = ctx.rank
+            tgt = sh.malloc(1)
+            yield sh.barrier_all_async()
+            if me == 0:
+                yield sh.put_async(tgt, np.array([1]), 1)
+                yield sh.quiet_async()
+                yield sh.put_async(tgt, np.array([2]), 1, offset=0)
+                yield sh.quiet_async()
+                return None
+            yield sh.wait_until_async(tgt, "eq", 2)
+            return int(tgt.arr[0])
+
+        res = run(main2, nranks=2)
+        assert res.results[1] == 2
+
+
+class TestAtomics:
+    def test_fetch_add_serializes(self):
+        def main(ctx):
+            sh = ctx.shmem
+            counter = sh.malloc(1)
+            yield sh.barrier_all_async()
+            olds = []
+            for _ in range(3):
+                old = yield sh.atomic_fetch_add_async(counter, 1, 0)
+                olds.append(old)
+            yield sh.barrier_all_async()
+            if ctx.rank == 0:
+                assert counter.arr[0] == 3 * ctx.nranks
+            return olds
+
+        res = run(main)
+        # all fetched values across ranks are distinct
+        all_olds = [v for r in res.results for v in r]
+        assert sorted(all_olds) == list(range(12))
+
+    def test_fetch_inc(self):
+        def main(ctx):
+            sh = ctx.shmem
+            c = sh.malloc(1)
+            yield sh.barrier_all_async()
+            old = yield sh.atomic_fetch_inc_async(c, 0)
+            yield sh.barrier_all_async()
+            return old
+
+        res = run(main)
+        assert sorted(res.results) == [0, 1, 2, 3]
+
+    def test_compare_swap_only_one_wins(self):
+        def main(ctx):
+            sh = ctx.shmem
+            flag = sh.malloc(1)
+            yield sh.barrier_all_async()
+            old = yield sh.atomic_compare_swap_async(flag, 0, ctx.rank + 1, 0)
+            yield sh.barrier_all_async()
+            return old == 0  # True iff this rank won
+
+        res = run(main)
+        assert sum(res.results) == 1
+
+    def test_swap(self):
+        def main(ctx):
+            sh = ctx.shmem
+            v = sh.malloc(1)
+            yield sh.barrier_all_async()
+            if ctx.rank == 1:
+                old = yield sh.atomic_swap_async(v, 42, 0)
+                return old
+            yield sh.barrier_all_async() if False else sh.barrier_all_async()
+            return None
+
+        # simpler deterministic variant
+        def main2(ctx):
+            sh = ctx.shmem
+            v = sh.malloc(1, fill=7)
+            yield sh.barrier_all_async()
+            if ctx.rank == 1:
+                old = yield sh.atomic_swap_async(v, 42, 0)
+                assert old == 7
+            yield sh.barrier_all_async()
+            if ctx.rank == 0:
+                return int(v.arr[0])
+            return None
+
+        res = run(main2, nranks=2)
+        assert res.results[0] == 42
+
+    def test_unknown_amo_rejected(self):
+        def main(ctx):
+            sh = ctx.shmem
+            v = sh.malloc(1)
+            sh.backend.amo("xor", v, 0, 0, operand=1)
+
+        with pytest.raises(ConfigError, match="unknown atomic"):
+            run(main, nranks=2)
+
+
+class TestWaitAndAsyncWhen:
+    def test_wait_until_released_by_remote_put(self):
+        def main(ctx):
+            sh = ctx.shmem
+            me = ctx.rank
+            sig = sh.malloc(1)
+            yield sh.barrier_all_async()
+            if me == 0:
+                from repro.runtime.api import charge
+                charge(2e-3)
+                yield sh.put_async(sig, np.array([99]), 1)
+                return None
+            if me == 1:
+                yield sh.wait_until_async(sig, "ge", 99)
+                from repro.runtime.api import now
+                return now() >= 2e-3
+            return None
+
+        res = run(main, nranks=2)
+        assert res.results[1] is True
+
+    def test_async_when_runs_body_on_condition(self):
+        def main(ctx):
+            sh = ctx.shmem
+            me, n = ctx.rank, ctx.nranks
+            sig = sh.malloc(1)
+            hits = []
+            f = sh.async_when(sig, "eq", 7, lambda: hits.append(me))
+            yield sh.barrier_all_async()
+            yield sh.put_async(sig, np.array([7]), (me + 1) % n)
+            yield f
+            return hits
+
+        res = run(main)
+        assert res.results == [[0], [1], [2], [3]]
+
+    def test_async_when_immediate_if_already_true(self):
+        def main(ctx):
+            sh = ctx.shmem
+            sig = sh.malloc(1, fill=5)
+            f = sh.async_when(sig, "eq", 5, lambda: "ran")
+            v = yield f
+            return v
+
+        res = run(main, nranks=1, workers=1)
+        assert res.results == ["ran"]
+
+    def test_local_store_wakes_watchers(self):
+        def main(ctx):
+            sh = ctx.shmem
+            sig = sh.malloc(1)
+            f = sh.wait_until_async(sig, "eq", 3)
+            sh.local_store(sig, 0, 3)
+            yield f
+            return True
+
+        res = run(main, nranks=1, workers=1)
+        assert res.results == [True]
+
+    def test_bad_comparison_rejected(self):
+        def main(ctx):
+            sh = ctx.shmem
+            sig = sh.malloc(1)
+            sh.wait_until_async(sig, "spaceship", 0)
+
+        with pytest.raises(ConfigError, match="comparison"):
+            run(main, nranks=1, workers=1)
+
+
+class TestCollectivesAndLocks:
+    def test_reductions(self):
+        def main(ctx):
+            sh = ctx.shmem
+            s = yield sh.reduce_async(ctx.rank + 1, lambda a, b: a + b)
+            m = yield sh.reduce_async(ctx.rank, lambda a, b: max(a, b))
+            return (s, m)
+
+        res = run(main)
+        assert all(r == (10, 3) for r in res.results)
+
+    def test_fcollect(self):
+        def main(ctx):
+            vals = yield ctx.shmem.fcollect_async(ctx.rank * 2 + 1)
+            return vals
+
+        res = run(main)
+        assert all(r == [1, 3, 5, 7] for r in res.results)
+
+    def test_broadcast(self):
+        def main(ctx):
+            v = yield ctx.shmem.broadcast_async(
+                "gold" if ctx.rank == 1 else None, root=1)
+            return v
+
+        res = run(main, nranks=3)
+        assert res.results == ["gold"] * 3
+
+    def test_alltoall(self):
+        def main(ctx):
+            me, n = ctx.rank, ctx.nranks
+            got = yield ctx.shmem.alltoall_async([me * n + d for d in range(n)])
+            return got
+
+        res = run(main)
+        for r, got in enumerate(res.results):
+            assert got == [s * 4 + r for s in range(4)]
+
+    def test_lock_mutual_exclusion_counter(self):
+        def main(ctx):
+            sh = ctx.shmem
+            lock = sh.malloc(1)
+            val = sh.malloc(1)
+            yield sh.barrier_all_async()
+            for _ in range(2):
+                yield sh.set_lock_async(lock)
+                v = yield sh.get_async(val, 0)
+                yield sh.put_async(val, np.array([v[0] + 1]), 0)
+                yield sh.quiet_async()
+                yield sh.clear_lock_async(lock)
+            yield sh.barrier_all_async()
+            return int((yield sh.get_async(val, 0))[0])
+
+        res = run(main)
+        assert all(r == 8 for r in res.results)
+
+    def test_finalize_with_unquieted_puts_raises(self):
+        def main(ctx):
+            sh = ctx.shmem
+            tgt = sh.malloc(1)
+            yield sh.barrier_all_async()
+            # issue a put and return without quiet on rank 0... but the
+            # engine drains deliveries before shutdown, so force the error
+            # path directly instead:
+            sh.backend._outstanding += 1
+            return None
+
+        with pytest.raises(ShmemError, match="un-quieted"):
+            run(main, nranks=2)
