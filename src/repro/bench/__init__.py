@@ -5,6 +5,7 @@ from repro.bench.harness import (
     Series,
     SweepResult,
     cluster_for,
+    run_telemetry,
     source_loc,
     sweep,
 )
@@ -14,6 +15,7 @@ __all__ = [
     "Series",
     "SweepResult",
     "cluster_for",
+    "run_telemetry",
     "source_loc",
     "sweep",
 ]

@@ -73,6 +73,28 @@ class Series:
         return out
 
 
+def run_telemetry(res: SpmdResult) -> Dict[str, float]:
+    """Scheduler-telemetry summary of one run: worker utilization (virtual
+    busy time over ``workers x makespan``), steal count, and fabric volume.
+    Computed from the runtime's always-on accounting — no tracer needed."""
+    out: Dict[str, float] = {}
+    if not hasattr(res, "contexts"):  # metric stubs in tests
+        return out
+    busy = 0.0
+    nworkers = 0
+    for ctx in res.contexts:
+        for w in getattr(ctx.runtime, "workers", []):
+            busy += max(0.0, w.clock - w.idle_time)
+            nworkers += 1
+    if nworkers and res.makespan > 0:
+        out["utilization"] = min(1.0, busy / (nworkers * res.makespan))
+    merged = res.merged_stats()
+    out["steals"] = float(merged.counter("core", "steal"))
+    out["msgs"] = float(res.fabric.messages_sent)
+    out["bytes"] = float(res.fabric.bytes_sent)
+    return out
+
+
 @dataclasses.dataclass
 class SweepResult:
     title: str
@@ -80,6 +102,10 @@ class SweepResult:
     #: series name -> {nodes -> value}
     values: Dict[str, Dict[int, float]]
     unit: str = "ms"
+    #: series name -> {nodes -> telemetry summary} (see :func:`run_telemetry`)
+    telemetry: Dict[str, Dict[int, Dict[str, float]]] = dataclasses.field(
+        default_factory=dict
+    )
 
     def table(self) -> str:
         header = f"{'nodes':>7s} | " + " | ".join(
@@ -93,15 +119,36 @@ class SweepResult:
                 cells.append(f"{v:18.4f}" if v is not None else " " * 17 + "-")
             lines.append(f"{nodes:7d} | " + " | ".join(cells))
         lines.append(f"(values in {self.unit}, virtual time)")
+        if any(self.telemetry.values()):
+            lines.append("telemetry (util% / steals / MB moved):")
+            for nodes in self.nodes_list:
+                cells = []
+                for name in self.values:
+                    tel = self.telemetry.get(name, {}).get(nodes)
+                    if not tel:
+                        cells.append(" " * 17 + "-")
+                        continue
+                    cells.append(
+                        f"{tel.get('utilization', 0.0) * 100:5.1f} "
+                        f"{int(tel.get('steals', 0)):>5d} "
+                        f"{tel.get('bytes', 0.0) / 1e6:6.2f}"
+                    )
+                lines.append(f"{nodes:7d} | " + " | ".join(cells))
         return "\n".join(lines)
 
     def flat(self) -> Dict[str, float]:
-        """Flattened {series@nodes: value} for benchmark extra_info."""
-        return {
+        """Flattened {series@nodes[:telemetry_key]: value} for benchmark
+        extra_info."""
+        out = {
             f"{name}@{nodes}": v
             for name, pts in self.values.items()
             for nodes, v in pts.items()
         }
+        for name, pts in self.telemetry.items():
+            for nodes, tel in pts.items():
+                for key, v in tel.items():
+                    out[f"{name}@{nodes}:{key}"] = v
+        return out
 
 
 def sweep(
@@ -112,12 +159,17 @@ def sweep(
     metric: Callable[[SpmdResult], float] = lambda r: r.makespan * 1e3,
     unit: str = "ms",
 ) -> SweepResult:
-    """Run every series over every point; collect ``metric`` of each run."""
+    """Run every series over every point; collect ``metric`` of each run
+    plus its scheduler-telemetry summary."""
     values: Dict[str, Dict[int, float]] = {}
+    telemetry: Dict[str, Dict[int, Dict[str, float]]] = {}
     for s in series:
         results = s.measure(nodes_list)
         values[s.name] = {nodes: metric(res) for nodes, res in results.items()}
-    return SweepResult(title, list(nodes_list), values, unit)
+        telemetry[s.name] = {
+            nodes: run_telemetry(res) for nodes, res in results.items()
+        }
+    return SweepResult(title, list(nodes_list), values, unit, telemetry)
 
 
 def source_loc(fn: Callable) -> int:

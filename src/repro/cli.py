@@ -245,6 +245,76 @@ def cmd_validate(_args) -> int:
     return 1 if failures else 0
 
 
+def _profile_target(fig: str, scale: float):
+    """One representative (HiPER-variant) run per figure for profiling."""
+    from repro.apps import presets
+    from repro.bench import cluster_for
+
+    if fig == "fig4":
+        from repro.apps.hpgmg import hpgmg_main
+        from repro.mpi import mpi_factory
+        from repro.upcxx import upcxx_factory
+
+        cfg = presets.hpgmg_paper(scale)
+        cfg.cycles = 4
+        return (hpgmg_main("hiper", cfg),
+                cluster_for("titan", 2, layout="hybrid"),
+                [mpi_factory(), upcxx_factory()])
+    if fig == "fig5":
+        from repro.apps.isx import isx_main
+        from repro.shmem import shmem_factory
+
+        return (isx_main("hiper", presets.isx_weak_scaling(scale)),
+                cluster_for("titan", 2, layout="hybrid"),
+                [shmem_factory()])
+    if fig == "fig6":
+        from repro.apps.geo import geo_main
+        from repro.cuda import cuda_factory
+        from repro.mpi import mpi_factory
+
+        return (geo_main("hiper", presets.geo_weak_scaling(scale)),
+                cluster_for("titan", 2, layout="hybrid"),
+                [mpi_factory(), cuda_factory()])
+    if fig == "fig7":
+        from repro.apps.uts import uts_main
+        from repro.shmem import shmem_factory
+
+        return (uts_main("hiper", presets.uts_t1xxl(scale)),
+                cluster_for("titan", 2, layout="hybrid"),
+                [shmem_factory()])
+    if fig == "g500":
+        from repro.apps.graph500 import graph500_main
+        from repro.mpi import mpi_factory
+        from repro.shmem import shmem_factory
+
+        return (graph500_main("hiper", presets.graph500_reference(10)),
+                cluster_for("edison", 2, layout="hybrid", workers_cap=8),
+                [mpi_factory(), shmem_factory()])
+    raise ValueError(fig)  # pragma: no cover - argparse restricts choices
+
+
+def cmd_profile(args) -> int:
+    """Run one figure's HiPER variant under full instrumentation and write
+    ``metrics.json`` + ``trace.json`` (Perfetto-loadable) to ``--out``."""
+    from repro.tools import profile_spmd
+
+    main_fn, cluster, factories = _profile_target(args.figure, args.scale)
+    t0 = time.time()
+    report = profile_spmd(main_fn, cluster, module_factories=factories,
+                          out_dir=args.out)
+    m = report.metrics
+    print(f"profiled {args.figure} on {m['nranks']} ranks: "
+          f"makespan {m['makespan'] * 1e3:.3f} ms (virtual), "
+          f"utilization {m['utilization']:.1%}, "
+          f"{m['trace_events']} trace events "
+          f"({time.time() - t0:.1f}s wall)")
+    for ch, rec in sorted(m["comm_volume"].items()):
+        print(f"  {ch:>10s}: {int(rec['messages'])} msgs, "
+              f"{int(rec['bytes'])} bytes")
+    print(f"wrote {report.metrics_path} and {report.trace_path}")
+    return 0
+
+
 def cmd_platform(args) -> int:
     from repro.platform import discover, machine
 
@@ -269,6 +339,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("validate", help="run every app's correctness check"
                    ).set_defaults(fn=cmd_validate)
+
+    prof = sub.add_parser(
+        "profile", help="run one figure instrumented; emit metrics + trace")
+    prof.add_argument("figure",
+                      choices=["fig4", "fig5", "fig6", "fig7", "g500"])
+    prof.add_argument("--out", default="profile-out",
+                      help="output directory for metrics.json / trace.json")
+    prof.add_argument("--scale", type=float, default=1.0,
+                      help="preset workload scale (1.0 = benchmark size)")
+    prof.set_defaults(fn=cmd_profile)
 
     pp = sub.add_parser("platform", help="print a machine's platform JSON")
     pp.add_argument("machine", choices=["edison", "titan", "workstation"])

@@ -115,7 +115,7 @@ class CudaModule(HiperModule):
     # ------------------------------------------------------------------
     # transfers
     # ------------------------------------------------------------------
-    def _op_future(self, op: GpuOp, what: str) -> Future:
+    def _op_future(self, op: GpuOp, what: str, nbytes: int = 0) -> Future:
         rt = self.runtime
         assert rt is not None and self.polling is not None
         promise = Promise(name=f"cuda-{what}")
@@ -123,7 +123,20 @@ class CudaModule(HiperModule):
             lambda: (True, op.value) if op.test() else (False, None), promise
         )
         rt.stats.count(self.name, what)
+        if nbytes:
+            # Per-direction byte volume: what ends in h2d/d2h/d2d.
+            rt.stats.count(self.name, f"bytes_{what.rsplit('_', 1)[-1]}", nbytes)
+            rt.stats.observe(self.name, "xfer_size", nbytes)
         return promise.get_future()
+
+    @staticmethod
+    def _xfer_nbytes(dst, src, nbytes: Optional[int]) -> int:
+        if nbytes is not None:
+            return int(nbytes)
+        for buf in (src, dst):
+            if isinstance(buf, (DeviceArray, np.ndarray)):
+                return int(buf.nbytes)
+        return 0
 
     def memcpy_async(self, dst, src, *, stream: int = 0,
                      nbytes: Optional[int] = None, index=None) -> Future:
@@ -134,17 +147,18 @@ class CudaModule(HiperModule):
         """
         d_dev = isinstance(dst, DeviceArray)
         s_dev = isinstance(src, DeviceArray)
+        n = self._xfer_nbytes(dst, src, nbytes)
         if d_dev and s_dev:
             op = dst.device.copy_d2d(dst, src, stream=stream, nbytes=nbytes)
-            return self._op_future(op, "memcpy_d2d")
+            return self._op_future(op, "memcpy_d2d", n)
         if d_dev:
             op = dst.device.copy_h2d(dst, src, stream=stream, nbytes=nbytes,
                                      dst_index=index)
-            return self._op_future(op, "memcpy_h2d")
+            return self._op_future(op, "memcpy_h2d", n)
         if s_dev:
             op = src.device.copy_d2h(dst, src, stream=stream, nbytes=nbytes,
                                      src_index=index)
-            return self._op_future(op, "memcpy_d2h")
+            return self._op_future(op, "memcpy_d2h", n)
         raise GpuError("memcpy_async needs at least one DeviceArray argument")
 
     def memcpy(self, dst, src, *, stream: int = 0,
@@ -239,7 +253,7 @@ class CudaModule(HiperModule):
             raise GpuError("async_copy to a GPU place needs a DeviceArray destination")
         dev = self._device_for_place(dst_place)
         return self._op_future(dev.copy_h2d(dst_buf, src_buf, nbytes=nbytes),
-                               "async_copy_h2d")
+                               "async_copy_h2d", nbytes)
 
     def _handle_copy_d2h(self, rt, dst_buf, dst_place, src_buf, src_place,
                          nbytes: int) -> Future:
@@ -247,13 +261,13 @@ class CudaModule(HiperModule):
             raise GpuError("async_copy from a GPU place needs a DeviceArray source")
         dev = self._device_for_place(src_place)
         return self._op_future(dev.copy_d2h(dst_buf, src_buf, nbytes=nbytes),
-                               "async_copy_d2h")
+                               "async_copy_d2h", nbytes)
 
     def _handle_copy_d2d(self, rt, dst_buf, dst_place, src_buf, src_place,
                          nbytes: int) -> Future:
         dev = self._device_for_place(dst_place)
         return self._op_future(dev.copy_d2d(dst_buf, src_buf, nbytes=nbytes),
-                               "async_copy_d2d")
+                               "async_copy_d2d", nbytes)
 
 
 def _forward(src: Future, dst: Promise) -> None:

@@ -88,9 +88,14 @@ class RankContext:
 
     @property
     def mux(self) -> "FabricMux":
-        """The rank's protocol multiplexer (created on first use)."""
+        """The rank's protocol multiplexer (created on first use).
+
+        The runtime's stats registry is attached so every module's
+        communication volume is accounted per channel automatically.
+        """
         if self._mux is None:
-            self._mux = FabricMux(self.fabric, self.rank)
+            self._mux = FabricMux(self.fabric, self.rank,
+                                  stats=self.runtime.stats)
         return self._mux
 
     # Convenience accessors for the standard modules (raise if not installed).

@@ -47,6 +47,10 @@ class Executor(abc.ABC):
         every module)."""
         self.tracer = tracer
 
+    def pending_events(self) -> int:
+        """Pending engine events/timers (telemetry: event-queue depth)."""
+        return 0
+
     # -- lifecycle ----------------------------------------------------------
     @abc.abstractmethod
     def register_runtime(self, runtime: "HiperRuntime") -> None:
@@ -129,7 +133,8 @@ class Executor(abc.ABC):
                 if self.tracer is not None:
                     t1 = self.now()
                     self.tracer.record(task.rank, worker.wid, task.module,
-                                       task.name, t0, t1)
+                                       task.name, t0, t1,
+                                       task_id=task.task_id)
                     runtime.stats.time(task.module, "task", t1 - t0)
 
     def _drive_coroutine(self, runtime: "HiperRuntime", task: Task) -> None:

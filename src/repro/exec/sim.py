@@ -62,8 +62,30 @@ class SimExecutor(Executor):
         self.trace = trace
         self.task_overhead = float(task_overhead)
         self.events_processed = 0
-        if sys.getrecursionlimit() < 100_000:
-            sys.setrecursionlimit(100_000)
+        # Help-until-ready nests on the Python call stack, so engine driving
+        # needs recursion headroom; raised on first drive/drain and restored
+        # at shutdown (not a permanent process-wide side effect).
+        self._saved_recursion_limit: Optional[int] = None
+
+    #: Recursion limit while the engine drives (covers MAX_HELP_DEPTH nesting
+    #: with several Python frames per help level).
+    ENGINE_RECURSION_LIMIT = 100_000
+
+    def _ensure_recursion_headroom(self) -> None:
+        if self._saved_recursion_limit is not None:
+            return
+        current = sys.getrecursionlimit()
+        if current < self.ENGINE_RECURSION_LIMIT:
+            self._saved_recursion_limit = current
+            sys.setrecursionlimit(self.ENGINE_RECURSION_LIMIT)
+
+    def _restore_recursion_limit(self) -> None:
+        if self._saved_recursion_limit is None:
+            return
+        # Restore only if nobody else adjusted the limit in the meantime.
+        if sys.getrecursionlimit() == self.ENGINE_RECURSION_LIMIT:
+            sys.setrecursionlimit(self._saved_recursion_limit)
+        self._saved_recursion_limit = None
 
     # ------------------------------------------------------------------
     # Executor interface
@@ -84,6 +106,10 @@ class SimExecutor(Executor):
         self._shutdown = True
         self._events.clear()
         self._maybe_ready.clear()
+        self._restore_recursion_limit()
+
+    def pending_events(self) -> int:
+        return len(self._events)
 
     def now(self) -> float:
         ctx = current_context()
@@ -256,6 +282,7 @@ class SimExecutor(Executor):
             raise RuntimeStateError(
                 "drive() re-entered; use block_until from inside tasks"
             )
+        self._ensure_recursion_headroom()
         self._stepping = True
         try:
             while not until():
@@ -274,6 +301,7 @@ class SimExecutor(Executor):
 
     def drain(self) -> None:
         """Run until full quiescence (no ready tasks, no events)."""
+        self._ensure_recursion_headroom()
         while self._step():
             pass
 

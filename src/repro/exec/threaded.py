@@ -95,6 +95,10 @@ class ThreadedExecutor(Executor):
     def now(self) -> float:
         return time.monotonic() - self._t0
 
+    def pending_events(self) -> int:
+        with self._cond:
+            return len(self._timers)
+
     def charge(self, seconds: float) -> None:
         # Real work takes real time on this engine; cost annotations are
         # accounting-only.

@@ -120,6 +120,7 @@ class MpiBackend:
         *,
         on_progress: Optional[Callable[[], None]] = None,
         channel: str = "mpi",
+        stats=None,
     ):
         self.mux = mux
         self.rank = rank
@@ -128,6 +129,9 @@ class MpiBackend:
         #: Hook invoked (from event context) whenever a request completes;
         #: the module points this at its polling service's ``kick``.
         self.on_progress = on_progress
+        #: Optional RuntimeStats: match/unexpected-queue accounting under the
+        #: backend's channel name.
+        self.stats = stats if stats is not None else mux.stats
         self._posted: List[Tuple[int, int, int, Optional[np.ndarray], MpiRequest]] = []
         self._unexpected: List[Tuple[int, _Envelope, float]] = []
         self._coll_seq = 0
@@ -174,6 +178,7 @@ class MpiBackend:
         for i, (msrc, env, t) in enumerate(self._unexpected):
             if self._matches(src, tag, comm, msrc, env):
                 del self._unexpected[i]
+                self._count("msgs_matched")
                 self._deliver_to(req, buffer, msrc, env, t)
                 return req
         self._posted.append((src, tag, comm, buffer, req))
@@ -191,9 +196,15 @@ class MpiBackend:
         for i, (wsrc, wtag, wcomm, buffer, req) in enumerate(self._posted):
             if self._matches(wsrc, wtag, wcomm, src, env):
                 del self._posted[i]
+                self._count("msgs_matched")
                 self._deliver_to(req, buffer, src, env, time)
                 return
+        self._count("msgs_unexpected")
         self._unexpected.append((src, env, time))
+
+    def _count(self, op: str, n: int = 1) -> None:
+        if self.stats is not None:
+            self.stats.count(self.channel, op, n)
 
     def _deliver_to(self, req: MpiRequest, buffer: Optional[np.ndarray],
                     src: int, env: _Envelope, time: float) -> None:

@@ -126,6 +126,18 @@ class SimFabric:
         self.messages_sent += 1
         self.bytes_sent += nbytes
 
+        tracer = self.executor.tracer
+        if tracer is not None:
+            # Payloads from a FabricMux arrive as (channel, inner); the
+            # channel doubles as the owning module's name in the trace.
+            channel = (
+                payload[0]
+                if isinstance(payload, tuple) and payload
+                and isinstance(payload[0], str)
+                else "net"
+            )
+            tracer.record_message(src, dst, channel, nbytes, t, delivery)
+
         if on_injected is not None:
             self.executor.call_at(inject_done, lambda: on_injected(inject_done))
         sink = self._sinks.get(dst)

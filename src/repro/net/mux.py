@@ -18,11 +18,19 @@ ChannelHandler = Callable[[int, Any, float], None]  # (src, payload, time)
 
 
 class FabricMux:
-    """One per rank; shared by every communication module on that rank."""
+    """One per rank; shared by every communication module on that rank.
 
-    def __init__(self, fabric: SimFabric, rank: int):
+    With a :class:`~repro.util.stats.RuntimeStats` attached, the mux accounts
+    per-module communication volume — every channel is a module name, so
+    ``stats.counter("mpi", "bytes_sent")`` etc. come for free for all
+    communication modules (paper §V: the unified runtime sees all work,
+    including every message each module moves).
+    """
+
+    def __init__(self, fabric: SimFabric, rank: int, *, stats=None):
         self.fabric = fabric
         self.rank = rank
+        self.stats = stats
         self._handlers: Dict[str, ChannelHandler] = {}
         fabric.register_sink(rank, self._dispatch)
 
@@ -48,6 +56,10 @@ class FabricMux:
             raise CommError(
                 f"rank {self.rank} sending on unregistered channel {channel!r}"
             )
+        if self.stats is not None:
+            self.stats.count(channel, "msgs_sent")
+            self.stats.count(channel, "bytes_sent", nbytes)
+            self.stats.observe(channel, "msg_size", nbytes)
         return self.fabric.transmit(
             self.rank, dst, nbytes, (channel, payload), on_injected=on_injected
         )
@@ -60,6 +72,8 @@ class FabricMux:
                 f"rank {self.rank} received message on unregistered channel "
                 f"{channel!r} from rank {src}"
             )
+        if self.stats is not None:
+            self.stats.count(channel, "msgs_received")
         handler(src, payload, time)
 
     @property

@@ -107,9 +107,16 @@ class DequeTable:
         return sum(pd.total() for pd in self._by_place_id.values())
 
     def snapshot(self) -> Dict[str, int]:
-        """Place name -> ready-task count (diagnostics, deadlock reports)."""
-        return {
-            pd.place.name: pd.total()
-            for pd in self._by_place_id.values()
-            if pd.total()
-        }
+        """Place name -> ready-task count (diagnostics, deadlock reports).
+
+        Each place's count is read exactly once: calling ``total()`` twice
+        per place (once to filter, once for the value) was both redundant
+        lock traffic and a TOCTOU race under the threaded executor — the
+        count could change between the check and the read.
+        """
+        out: Dict[str, int] = {}
+        for pd in self._by_place_id.values():
+            n = pd.total()
+            if n:
+                out[pd.place.name] = n
+        return out

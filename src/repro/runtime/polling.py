@@ -53,6 +53,12 @@ class PollingService:
         self._lock = threading.Lock()
         self._pending: List[Tuple[PollFn, Promise]] = []
         self._task_live = False  # a polling task is scheduled or armed
+        #: Arm generation. Every spawned sweep bumps it (under the lock), so
+        #: an interval timer scheduled before an eager kick carries a stale
+        #: epoch and becomes a no-op — previously that stale timer could run
+        #: a second sweep for the same completion, charging ``sweep_cost``
+        #: twice.
+        self._epoch = 0
         self.sweeps = 0
 
     # -- public -----------------------------------------------------------
@@ -60,9 +66,7 @@ class PollingService:
         """Register a pending operation; ensures a polling task exists."""
         with self._lock:
             self._pending.append((poll_fn, promise))
-            need_spawn = not self._task_live
-            if need_spawn:
-                self._task_live = True
+            need_spawn = self._arm_locked()
         if need_spawn:
             self._spawn_sweep()
 
@@ -71,10 +75,21 @@ class PollingService:
         if not self.eager_kick:
             return
         with self._lock:
-            if not self._pending or self._task_live:
+            if not self._pending:
                 return
-            self._task_live = True
-        self._spawn_sweep()
+            need_spawn = self._arm_locked()
+        if need_spawn:
+            self.runtime.stats.count(self.module, "poll_kicks")
+            self._spawn_sweep()
+
+    def _arm_locked(self) -> bool:
+        """With the lock held: claim the (single) live polling task slot.
+        Bumping the epoch invalidates any outstanding interval timer."""
+        if self._task_live:
+            return False
+        self._task_live = True
+        self._epoch += 1
+        return True
 
     @property
     def outstanding(self) -> int:
@@ -91,6 +106,8 @@ class PollingService:
 
     def _sweep(self) -> None:
         self.sweeps += 1
+        stats = self.runtime.stats
+        stats.count(self.module, "poll_sweeps")
         with self._lock:
             pending, self._pending = self._pending, []
         still = []
@@ -101,24 +118,34 @@ class PollingService:
                 completed.append((promise, value))
             else:
                 still.append((poll_fn, promise))
+        if completed:
+            stats.count(self.module, "futures_satisfied", len(completed))
         with self._lock:
             self._pending = still + self._pending  # keep ops registered mid-sweep
             remain = bool(self._pending)
             # While waiting out the interval no sweep task is live, so an
             # eager kick (event-driven completion) can schedule one early.
             self._task_live = False
+            epoch = self._epoch
         # Satisfy outside the lock: callbacks may spawn or re-watch.
         for promise, value in completed:
             promise.put(value)
         if remain:
             # Re-arm after the poll interval, yielding the worker meanwhile.
-            self.runtime.executor.call_later(self.interval, self._rearm)
+            # The timer carries the current epoch: if a kick (or a re-watch
+            # from a completion callback) spawns a sweep first, the epoch
+            # moves on and this timer becomes a no-op instead of running a
+            # duplicate sweep.
+            self.runtime.executor.call_later(
+                self.interval, lambda: self._rearm(epoch)
+            )
 
-    def _rearm(self) -> None:
+    def _rearm(self, epoch: int) -> None:
         with self._lock:
-            if not self._pending or self._task_live:
-                return  # drained meanwhile, or a kick already re-armed us
-            self._task_live = True
+            if epoch != self._epoch:
+                return  # a kick/re-watch superseded this timer
+            if not self._pending or not self._arm_locked():
+                return  # drained meanwhile, or a sweep is already live
         self._spawn_sweep()
 
     def __repr__(self) -> str:

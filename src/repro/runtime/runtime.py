@@ -219,6 +219,10 @@ class HiperRuntime:
         )
         scope.task_spawned()
         self.stats.count(module, "tasks_spawned")
+        tracer = self.executor.tracer
+        if tracer is not None:
+            tracer.record_spawn(self.rank, created_by, task.task_id,
+                                task.name, self.executor.now())
 
         if await_future is not None and not await_future.satisfied:
             task.state = TaskState.CREATED

@@ -60,11 +60,16 @@ class ShmemBackend:
         rank: int,
         heap: SymmetricHeap,
         peers: Dict[int, "ShmemBackend"],
+        *,
+        stats=None,
     ):
         self.mux = mux
         self.rank = rank
         self.nranks = mux.nranks
         self.heap = heap
+        #: Optional RuntimeStats for op-level accounting (defaults to the
+        #: mux's attached stats, so SPMD runs get it automatically).
+        self.stats = stats if stats is not None else mux.stats
         self._peers = peers
         peers[rank] = self
         self._req_seq = itertools.count()
@@ -78,6 +83,10 @@ class ShmemBackend:
         self.gets = 0
         self.amos = 0
         mux.register_channel(_CHANNEL, self._on_delivery)
+
+    def _count(self, op: str, n: int = 1) -> None:
+        if self.stats is not None:
+            self.stats.count(_CHANNEL, op, n)
 
     # ------------------------------------------------------------------
     # puts
@@ -94,6 +103,7 @@ class ShmemBackend:
         data = np.asarray(data)
         self._check_bounds(target, offset, data.size, pe)
         self.puts += 1
+        self._count("puts")
         self._outstanding += 1
         done = Promise(name=f"put-{target.sym_id}@{pe}")
         payload = ("put", target.sym_id, offset, data.copy(), self.rank)
@@ -116,6 +126,7 @@ class ShmemBackend:
         n = source.size - offset if count is None else count
         self._check_bounds(source, offset, n, pe)
         self.gets += 1
+        self._count("gets")
         req_id = next(self._req_seq)
         done = Promise(name=f"get-{source.sym_id}@{pe}")
         self._pending_resp[req_id] = done
@@ -142,6 +153,7 @@ class ShmemBackend:
         self._check_pe(pe)
         self._check_bounds(target, index, 1, pe)
         self.amos += 1
+        self._count("amos")
         done = Promise(name=f"amo-{op}-{target.sym_id}@{pe}")
         self._charge_cpu()
         if fetch:

@@ -1,6 +1,20 @@
 """Tooling enabled by unified scheduling (paper §V): execution tracing,
-module time attribution, Chrome-trace export."""
+module time attribution, Chrome-trace export, and the profiling harness."""
 
-from repro.tools.trace import TraceEvent, TraceRecorder
+from repro.tools.profile import (ProfileReport, TelemetryModule,
+                                 profile_spmd, telemetry_factory)
+from repro.tools.trace import (CounterSample, MessageEvent, SpawnEvent,
+                               TraceEvent, TraceRecorder, merge_intervals)
 
-__all__ = ["TraceEvent", "TraceRecorder"]
+__all__ = [
+    "CounterSample",
+    "MessageEvent",
+    "ProfileReport",
+    "SpawnEvent",
+    "TelemetryModule",
+    "TraceEvent",
+    "TraceRecorder",
+    "merge_intervals",
+    "profile_spmd",
+    "telemetry_factory",
+]

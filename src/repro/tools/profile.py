@@ -1,0 +1,137 @@
+"""Profiling harness: run an SPMD workload with the full observability stack
+attached and export machine-readable artifacts.
+
+This is the front door of the unified telemetry layer (paper §V: a unified
+scheduler sees *all* work, so one profiling pass yields task timelines,
+module time attribution, per-module communication volume, and queue-depth
+telemetry together):
+
+- :class:`TelemetryModule` — a pluggable :class:`~repro.modules.base
+  .HiperModule` that starts a :class:`~repro.util.stats.TelemetrySampler`
+  per rank. It is an ordinary module: append :func:`telemetry_factory` to any
+  ``spmd_run``'s ``module_factories`` and every rank samples deque depth,
+  event-queue length, pop/steal rates, and idle fractions on virtual-time
+  ticks — no core-runtime changes, which is itself the paper's plugin thesis.
+- :func:`profile_spmd` — run a main under a tracing executor plus samplers,
+  then write ``metrics.json`` (makespan, utilization, module times, comm
+  volume, merged cross-rank stats) and ``trace.json`` (Chrome-trace /
+  Perfetto, with spawn→execution and send→delivery flow arrows and counter
+  tracks).
+
+Exposed on the command line as ``python -m repro profile <figure>``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from repro.exec.sim import SimExecutor
+from repro.modules.base import HiperModule
+from repro.tools.trace import TraceRecorder
+from repro.util.stats import TelemetrySampler
+
+
+class TelemetryModule(HiperModule):
+    """Per-rank telemetry sampling as a pluggable module.
+
+    ``initialize`` starts the sampler (picking up the executor's attached
+    tracer, if any, for Chrome-trace counter tracks); ``finalize`` stops it.
+    """
+
+    name = "telemetry"
+    capabilities = frozenset({"observability"})
+
+    def __init__(self, ctx=None, *, period: float = 1e-4,
+                 max_samples: int = 2048):
+        super().__init__()
+        self.ctx = ctx  # optional RankContext; unused single-rank
+        self._period = period
+        self._max_samples = max_samples
+        self.sampler: Optional[TelemetrySampler] = None
+
+    def initialize(self, runtime) -> None:
+        self.sampler = TelemetrySampler(
+            runtime, period=self._period, max_samples=self._max_samples,
+            tracer=runtime.executor.tracer,
+        )
+        self.sampler.start()
+        self._initialized = True
+
+    def finalize(self, runtime) -> None:
+        if self.sampler is not None:
+            self.sampler.stop()
+
+
+def telemetry_factory(**kwargs) -> Callable[[Any], TelemetryModule]:
+    """Module factory for :func:`repro.distrib.spmd_run`."""
+    return lambda ctx: TelemetryModule(ctx, **kwargs)
+
+
+@dataclasses.dataclass
+class ProfileReport:
+    """Everything one profiling run produced."""
+
+    result: Any  # SpmdResult
+    tracer: TraceRecorder
+    metrics: Dict[str, Any]
+    metrics_path: Optional[str] = None
+    trace_path: Optional[str] = None
+
+    @property
+    def utilization(self) -> float:
+        return self.metrics["utilization"]
+
+
+def profile_spmd(
+    main: Callable,
+    config=None,
+    *,
+    module_factories: Sequence[Callable] = (),
+    out_dir: Optional[str] = None,
+    sample_period: float = 1e-4,
+    max_samples: int = 2048,
+    max_events: int = 1_000_000,
+) -> ProfileReport:
+    """Run ``main`` under full instrumentation; optionally write artifacts.
+
+    With ``out_dir`` set, writes ``<out_dir>/metrics.json`` and
+    ``<out_dir>/trace.json`` (Chrome-trace format, loadable in Perfetto or
+    ``chrome://tracing``).
+    """
+    from repro.distrib.spmd import ClusterConfig, spmd_run
+
+    cfg = config or ClusterConfig()
+    ex = SimExecutor(task_overhead=cfg.task_overhead)
+    tracer = TraceRecorder(max_events=max_events)
+    ex.attach_tracer(tracer)
+
+    factories = list(module_factories)
+    factories.append(
+        telemetry_factory(period=sample_period, max_samples=max_samples)
+    )
+    result = spmd_run(main, cfg, module_factories=factories, executor=ex)
+
+    merged = result.merged_stats()
+    metrics: Dict[str, Any] = {
+        "makespan": result.makespan,
+        "nranks": result.nranks,
+        "utilization": tracer.utilization(result.makespan),
+        "module_times": tracer.module_times(),
+        "comm_volume": tracer.comm_volume(),
+        "trace_events": len(tracer.events),
+        "trace_dropped": tracer.dropped,
+        "stats": merged.to_dict(),
+    }
+
+    report = ProfileReport(result=result, tracer=tracer, metrics=metrics)
+    if out_dir is not None:
+        os.makedirs(out_dir, exist_ok=True)
+        report.metrics_path = os.path.join(out_dir, "metrics.json")
+        with open(report.metrics_path, "w", encoding="utf-8") as fh:
+            json.dump(metrics, fh, indent=2, sort_keys=True)
+        report.trace_path = os.path.join(out_dir, "trace.json")
+        tracer.save_chrome_trace(report.trace_path)
+    return report

@@ -5,15 +5,24 @@ executing on a system. Hooks have been added ... which enable programmers to
 gather statistics on time spent in calls to different modules."
 
 A :class:`TraceRecorder` attached to an executor records one event per
-executed task segment: (rank, worker, module, task name, virtual start/end).
-Under help-first blocking, a blocked task's segment spans the tasks its
-worker helped with, so segments may nest (and utilization can read > 1).
-From that single stream it derives:
+executed task segment: (rank, worker, module, task name, virtual start/end,
+task id). Under help-first blocking, a blocked task's segment spans the tasks
+its worker helped with, so segments may *nest*; per-worker busy time is
+therefore computed by merging each worker's segment intervals (self time,
+never double-counted), which keeps utilization <= 1 by construction.
 
-- per-module time attribution (who used the machine),
-- per-worker utilization timelines,
-- a Chrome-trace JSON export (``chrome://tracing`` / Perfetto) for visual
-  inspection of the unified schedule.
+Beyond task segments the recorder collects:
+
+- *spawn events* (who created which task, and when) — exported as
+  Chrome-trace flow arrows from spawn site to first execution;
+- *message events* (send -> delivery through the simulated fabric) — exported
+  as flow arrows between ranks;
+- *counter samples* (queue depth, utilization, ... from the telemetry
+  sampler) — exported as Chrome-trace counter tracks.
+
+From that stream it derives per-module time attribution, per-worker
+utilization, and a Chrome-trace JSON export (``chrome://tracing`` /
+Perfetto) for visual inspection of the unified schedule.
 """
 
 from __future__ import annotations
@@ -32,10 +41,54 @@ class TraceEvent:
     name: str
     start: float
     end: float
+    task_id: int = -1
 
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+
+@dataclasses.dataclass(frozen=True)
+class SpawnEvent:
+    rank: int
+    worker: int
+    task_id: int
+    name: str
+    time: float
+
+
+@dataclasses.dataclass(frozen=True)
+class MessageEvent:
+    src_rank: int
+    dst_rank: int
+    channel: str
+    nbytes: int
+    send_time: float
+    delivery_time: float
+
+
+@dataclasses.dataclass(frozen=True)
+class CounterSample:
+    rank: int
+    name: str
+    time: float
+    value: float
+
+
+def merge_intervals(intervals: List[Tuple[float, float]]) -> float:
+    """Total length of the union of ``(start, end)`` intervals."""
+    if not intervals:
+        return 0.0
+    intervals = sorted(intervals)
+    total = 0.0
+    cur_start, cur_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > cur_end:
+            total += cur_end - cur_start
+            cur_start, cur_end = start, end
+        elif end > cur_end:
+            cur_end = end
+    return total + (cur_end - cur_start)
 
 
 class TraceRecorder:
@@ -44,35 +97,73 @@ class TraceRecorder:
     def __init__(self, max_events: int = 1_000_000):
         self.max_events = max_events
         self.events: List[TraceEvent] = []
+        self.spawns: List[SpawnEvent] = []
+        self.messages: List[MessageEvent] = []
+        self.counters: List[CounterSample] = []
         self.dropped = 0
 
     # called by the executor around every task segment
     def record(self, rank: int, worker: int, module: str, name: str,
-               start: float, end: float) -> None:
+               start: float, end: float, task_id: int = -1) -> None:
         if len(self.events) >= self.max_events:
             self.dropped += 1
             return
-        self.events.append(TraceEvent(rank, worker, module, name, start, end))
+        self.events.append(
+            TraceEvent(rank, worker, module, name, start, end, task_id)
+        )
+
+    # called by the runtime at task creation (flow-arrow source)
+    def record_spawn(self, rank: int, worker: int, task_id: int, name: str,
+                     time: float) -> None:
+        if len(self.spawns) >= self.max_events:
+            self.dropped += 1
+            return
+        self.spawns.append(SpawnEvent(rank, worker, task_id, name, time))
+
+    # called by the fabric for every transmitted message
+    def record_message(self, src_rank: int, dst_rank: int, channel: str,
+                       nbytes: int, send_time: float,
+                       delivery_time: float) -> None:
+        if len(self.messages) >= self.max_events:
+            self.dropped += 1
+            return
+        self.messages.append(
+            MessageEvent(src_rank, dst_rank, channel, nbytes, send_time,
+                         delivery_time)
+        )
+
+    # called by the telemetry sampler (counter tracks)
+    def record_counter(self, rank: int, name: str, time: float,
+                       value: float) -> None:
+        if len(self.counters) >= self.max_events:
+            self.dropped += 1
+            return
+        self.counters.append(CounterSample(rank, name, time, value))
 
     # ------------------------------------------------------------------
     # analyses
     # ------------------------------------------------------------------
     def module_times(self) -> Dict[str, float]:
-        """Virtual seconds attributed to each module (paper §V)."""
+        """Virtual seconds attributed to each module (paper §V). Inclusive
+        time: a blocked segment's helped children are counted under their own
+        modules too."""
         out: Dict[str, float] = defaultdict(float)
         for ev in self.events:
             out[ev.module] += ev.duration
         return dict(out)
 
     def worker_busy(self) -> Dict[Tuple[int, int], float]:
-        """(rank, worker) -> total busy virtual seconds."""
-        out: Dict[Tuple[int, int], float] = defaultdict(float)
+        """(rank, worker) -> busy virtual seconds as the *union* of the
+        worker's segment intervals. Nested help-first segments (a blocked
+        task spanning the tasks its worker helped with) count once."""
+        by_worker: Dict[Tuple[int, int], List[Tuple[float, float]]] = defaultdict(list)
         for ev in self.events:
-            out[(ev.rank, ev.worker)] += ev.duration
-        return dict(out)
+            by_worker[(ev.rank, ev.worker)].append((ev.start, ev.end))
+        return {key: merge_intervals(ivs) for key, ivs in by_worker.items()}
 
     def utilization(self, makespan: Optional[float] = None) -> float:
-        """Mean busy fraction over all workers that appear in the trace."""
+        """Mean busy fraction over all workers that appear in the trace.
+        Always <= 1 (busy time is interval-merged self time)."""
         busy = self.worker_busy()
         if not busy:
             return 0.0
@@ -92,6 +183,15 @@ class TraceRecorder:
         ranked = sorted(totals.items(), key=lambda kv: -kv[1][0])[:n]
         return [(name, t, int(c)) for name, (t, c) in ranked]
 
+    def comm_volume(self) -> Dict[str, Dict[str, float]]:
+        """Per-channel message/byte totals from recorded message events."""
+        out: Dict[str, Dict[str, float]] = {}
+        for msg in self.messages:
+            rec = out.setdefault(msg.channel, {"messages": 0, "bytes": 0})
+            rec["messages"] += 1
+            rec["bytes"] += msg.nbytes
+        return out
+
     def summary(self) -> str:
         lines = [f"trace: {len(self.events)} events"
                  + (f" (+{self.dropped} dropped)" if self.dropped else "")]
@@ -99,6 +199,13 @@ class TraceRecorder:
         for mod, t in sorted(self.module_times().items(), key=lambda kv: -kv[1]):
             lines.append(f"  {mod:>12s}: {t * 1e3:10.4f} ms")
         lines.append(f"mean worker utilization: {self.utilization():.1%}")
+        if self.messages:
+            lines.append("communication volume:")
+            for ch, rec in sorted(self.comm_volume().items()):
+                lines.append(
+                    f"  {ch:>12s}: {int(rec['messages'])} msgs, "
+                    f"{int(rec['bytes'])} bytes"
+                )
         lines.append("heaviest tasks:")
         for name, t, c in self.top_tasks(5):
             lines.append(f"  {name:>24s}: {t * 1e3:10.4f} ms over {c} runs")
@@ -108,8 +215,11 @@ class TraceRecorder:
     # export
     # ------------------------------------------------------------------
     def to_chrome_trace(self) -> str:
-        """Chrome-trace ("trace event") JSON: one row per (rank, worker)."""
+        """Chrome-trace ("trace event") JSON: one row per (rank, worker),
+        plus flow arrows (task spawn -> first execution, message send ->
+        delivery) and counter tracks from the telemetry sampler."""
         rows = []
+        first_exec: Dict[int, TraceEvent] = {}
         for ev in self.events:
             rows.append({
                 "name": ev.name,
@@ -119,6 +229,45 @@ class TraceRecorder:
                 "dur": ev.duration * 1e6,
                 "pid": ev.rank,
                 "tid": ev.worker,
+                "args": {"task_id": ev.task_id},
+            })
+            if ev.task_id >= 0:
+                seen = first_exec.get(ev.task_id)
+                if seen is None or ev.start < seen.start:
+                    first_exec[ev.task_id] = ev
+        for sp in self.spawns:
+            ev = first_exec.get(sp.task_id)
+            if ev is None:
+                continue
+            rows.append({
+                "name": f"spawn:{sp.name}", "cat": "flow", "ph": "s",
+                "id": f"t{sp.task_id}", "ts": sp.time * 1e6,
+                "pid": sp.rank, "tid": sp.worker,
+            })
+            rows.append({
+                "name": f"spawn:{sp.name}", "cat": "flow", "ph": "f",
+                "bp": "e", "id": f"t{sp.task_id}",
+                "ts": max(ev.start, sp.time) * 1e6,
+                "pid": ev.rank, "tid": ev.worker,
+            })
+        for i, msg in enumerate(self.messages):
+            name = f"msg:{msg.channel}"
+            rows.append({
+                "name": name, "cat": "comm", "ph": "s", "id": f"m{i}",
+                "ts": msg.send_time * 1e6, "pid": msg.src_rank, "tid": 0,
+                "args": {"nbytes": msg.nbytes},
+            })
+            rows.append({
+                "name": name, "cat": "comm", "ph": "f", "bp": "e",
+                "id": f"m{i}",
+                "ts": max(msg.delivery_time, msg.send_time) * 1e6,
+                "pid": msg.dst_rank, "tid": 0,
+            })
+        for cs in self.counters:
+            rows.append({
+                "name": cs.name, "cat": "telemetry", "ph": "C",
+                "ts": cs.time * 1e6, "pid": cs.rank,
+                "args": {cs.name: cs.value},
             })
         return json.dumps({"traceEvents": rows, "displayTimeUnit": "ms"})
 
