@@ -36,6 +36,20 @@ def test_spawn_and_join_throughput_sim(benchmark):
     benchmark.extra_info["tasks_per_call"] = N_TASKS
 
 
+def test_spawn_and_join_throughput_sim_w16(benchmark):
+    """Same spawn/join storm at 16 workers: stresses worker selection and
+    the steal/wake machinery, where per-dispatch O(W) costs dominate."""
+    rt = _sim_rt(workers=16)
+
+    def run():
+        rt.run(lambda: finish(
+            lambda: [async_(lambda: None) for _ in range(N_TASKS)]))
+
+    benchmark(run)
+    benchmark.extra_info["tasks_per_call"] = N_TASKS
+    benchmark.extra_info["workers"] = 16
+
+
 def test_future_chain_throughput_sim(benchmark):
     rt = _sim_rt(workers=1)
 

@@ -1,0 +1,22 @@
+"""Record runtime micro-benchmark results into the committed perf ledger.
+
+Thin script wrapper over ``python -m repro bench-record`` for running from a
+checkout without installing::
+
+    PYTHONPATH=src python benchmarks/record.py --label "my change"
+    PYTHONPATH=src python benchmarks/record.py --fast   # CI smoke subset
+
+See :mod:`repro.bench.record` for the ledger format.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["bench-record"] + sys.argv[1:]))

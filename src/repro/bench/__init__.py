@@ -1,4 +1,5 @@
-"""Benchmark harness: sweeps, platforms, series tables (per paper figure)."""
+"""Benchmark harness: sweeps, platforms, series tables (per paper figure),
+plus the scheduler perf-regression ledger (:mod:`repro.bench.record`)."""
 
 from repro.bench.harness import (
     PLATFORMS,
@@ -9,6 +10,14 @@ from repro.bench.harness import (
     source_loc,
     sweep,
 )
+from repro.bench.record import (
+    FAST_BENCHES,
+    append_entry,
+    entry_from_pytest_json,
+    format_entry,
+    load_ledger,
+    record,
+)
 
 __all__ = [
     "PLATFORMS",
@@ -18,4 +27,10 @@ __all__ = [
     "run_telemetry",
     "source_loc",
     "sweep",
+    "FAST_BENCHES",
+    "append_entry",
+    "entry_from_pytest_json",
+    "format_entry",
+    "load_ledger",
+    "record",
 ]

@@ -1,0 +1,210 @@
+"""Scheduler performance recording: append pytest-benchmark results to a
+committed JSON ledger (``BENCH_scheduler.json``).
+
+The ledger makes scheduler-overhead changes reviewable the same way figure
+outputs are: every entry pins ops/sec per micro-benchmark to a commit hash
+and date, so a perf regression shows up as a diff instead of an anecdote.
+
+Usage::
+
+    python -m repro bench-record --label "post-overhaul"
+    python -m repro bench-record --fast        # CI perf-smoke subset
+    python benchmarks/record.py                # same, as a script
+
+Each invocation runs ``benchmarks/bench_micro_runtime.py`` under
+pytest-benchmark, extracts per-benchmark ``ops`` (1/mean), mean/median/stddev
+and rounds, and appends one entry to the ledger.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional
+
+#: Default ledger path, relative to the repo root (committed).
+DEFAULT_LEDGER = "BENCH_scheduler.json"
+
+#: Default benchmark module, relative to the repo root.
+DEFAULT_BENCH_FILE = "benchmarks/bench_micro_runtime.py"
+
+#: The two fast micro-benches the CI perf-smoke job runs (seconds each, not
+#: minutes): the spawn/join storm exercises the full dispatch hot path and
+#: the future chain exercises promise/continuation machinery.
+FAST_BENCHES = (
+    "test_spawn_and_join_throughput_sim",
+    "test_future_chain_throughput_sim",
+)
+
+
+def repo_root() -> str:
+    """The repository root (directory containing this package's parent)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.dirname(os.path.dirname(os.path.dirname(here)))
+
+
+def current_commit(cwd: Optional[str] = None) -> str:
+    """Current git commit hash (suffixed ``-dirty`` when the worktree has
+    uncommitted changes), or ``"unknown"`` outside a checkout."""
+    root = cwd or repo_root()
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root, capture_output=True, text=True, timeout=30,
+        )
+        if out.returncode != 0:
+            return "unknown"
+        sha = out.stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=root, capture_output=True, text=True, timeout=30,
+        )
+        if status.returncode == 0 and status.stdout.strip():
+            sha += "-dirty"
+        return sha
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+
+
+def _summarize(raw: Dict[str, Any]) -> Dict[str, Any]:
+    """Per-benchmark summary from one pytest-benchmark JSON document."""
+    benches: Dict[str, Any] = {}
+    for b in raw.get("benchmarks", []):
+        st = b["stats"]
+        benches[b["name"]] = {
+            "ops_per_sec": st["ops"],
+            "mean_s": st["mean"],
+            "median_s": st["median"],
+            "stddev_s": st["stddev"],
+            "rounds": st["rounds"],
+            "extra_info": b.get("extra_info", {}),
+        }
+    return benches
+
+
+def entry_from_pytest_json(
+    path: str,
+    label: str,
+    commit: Optional[str] = None,
+    date: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Build one ledger entry from an existing pytest-benchmark JSON file
+    (used to import runs recorded out-of-band, e.g. a pre-change baseline)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        raw = json.load(fh)
+    commit_info = raw.get("commit_info", {}) or {}
+    return {
+        "label": label,
+        "commit": commit or commit_info.get("id", "unknown"),
+        "date": date or raw.get("datetime",
+                                datetime.now(timezone.utc).isoformat()),
+        "machine": raw.get("machine_info", {}).get("node", "unknown"),
+        "python": raw.get("machine_info", {}).get(
+            "python_version", sys.version.split()[0]),
+        "benchmarks": _summarize(raw),
+    }
+
+
+def run_benchmarks(
+    bench_file: str = DEFAULT_BENCH_FILE,
+    keyword: Optional[str] = None,
+    cwd: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run ``bench_file`` under pytest-benchmark; return the raw JSON doc.
+
+    Raises ``RuntimeError`` if pytest fails (a crashing benchmark must not
+    silently record an empty entry).
+    """
+    root = cwd or repo_root()
+    fd, tmp = tempfile.mkstemp(prefix="bench-", suffix=".json")
+    os.close(fd)
+    try:
+        cmd = [
+            sys.executable, "-m", "pytest", bench_file, "-q",
+            "--benchmark-only", f"--benchmark-json={tmp}",
+        ]
+        if keyword:
+            cmd += ["-k", keyword]
+        env = dict(os.environ)
+        src = os.path.join(root, "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+        proc = subprocess.run(cmd, cwd=root, env=env,
+                              capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"benchmark run failed (exit {proc.returncode}):\n"
+                f"{proc.stdout[-2000:]}\n{proc.stderr[-2000:]}"
+            )
+        with open(tmp, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    finally:
+        os.unlink(tmp)
+
+
+def load_ledger(path: str) -> List[Dict[str, Any]]:
+    if not os.path.exists(path):
+        return []
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    return doc.get("entries", [])
+
+
+def append_entry(path: str, entry: Dict[str, Any]) -> None:
+    entries = load_ledger(path)
+    entries.append(entry)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"entries": entries}, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def record(
+    out: Optional[str] = None,
+    label: str = "",
+    bench_file: str = DEFAULT_BENCH_FILE,
+    fast: bool = False,
+    keyword: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run the micro-benchmarks and append one entry to the ledger.
+
+    ``fast`` restricts the run to :data:`FAST_BENCHES` (the CI smoke subset);
+    ``keyword`` passes an explicit pytest ``-k`` expression instead. Returns
+    the appended entry.
+    """
+    root = repo_root()
+    out = out or os.path.join(root, DEFAULT_LEDGER)
+    if fast and keyword is None:
+        keyword = " or ".join(FAST_BENCHES)
+    raw = run_benchmarks(bench_file, keyword=keyword, cwd=root)
+    entry = {
+        "label": label or ("perf-smoke" if fast else "bench-record"),
+        "commit": current_commit(root),
+        "date": datetime.now(timezone.utc).isoformat(),
+        "machine": raw.get("machine_info", {}).get("node", "unknown"),
+        "python": raw.get("machine_info", {}).get(
+            "python_version", sys.version.split()[0]),
+        "benchmarks": _summarize(raw),
+    }
+    append_entry(out, entry)
+    return entry
+
+
+def format_entry(entry: Dict[str, Any], baseline: Optional[Dict[str, Any]] = None) -> str:
+    """Human-readable table for one entry, with speedup vs. ``baseline``."""
+    lines = [
+        f"entry: {entry['label']} @ {entry['commit'][:12]} ({entry['date']})"
+    ]
+    base = (baseline or {}).get("benchmarks", {})
+    for name, rec in sorted(entry["benchmarks"].items()):
+        line = (f"  {name:<45s} {rec['ops_per_sec']:>10.2f} ops/s "
+                f"(mean {rec['mean_s'] * 1e3:8.3f} ms, "
+                f"rounds {rec['rounds']})")
+        ref = base.get(name)
+        if ref and ref.get("ops_per_sec"):
+            line += f"  [{rec['ops_per_sec'] / ref['ops_per_sec']:.2f}x vs {baseline['label']}]"
+        lines.append(line)
+    return "\n".join(lines)

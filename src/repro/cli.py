@@ -323,6 +323,23 @@ def cmd_platform(args) -> int:
     return 0
 
 
+def cmd_bench_record(args) -> int:
+    """Run the runtime micro-benchmarks and append the results (ops/sec per
+    bench, commit hash, date) to the committed perf ledger."""
+    from repro.bench.record import format_entry, load_ledger, record
+
+    t0 = time.time()
+    entry = record(out=args.out, label=args.label, fast=args.fast,
+                   keyword=args.keyword)
+    ledger = load_ledger(args.out) if args.out else None
+    baseline = ledger[0] if ledger and len(ledger) > 1 else None
+    print(format_entry(entry, baseline))
+    print(f"({len(entry['benchmarks'])} benchmarks in "
+          f"{time.time() - t0:.1f}s wall; appended to "
+          f"{args.out or 'BENCH_scheduler.json'})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro", description="HiPER reproduction driver")
@@ -349,6 +366,20 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--scale", type=float, default=1.0,
                       help="preset workload scale (1.0 = benchmark size)")
     prof.set_defaults(fn=cmd_profile)
+
+    br = sub.add_parser(
+        "bench-record",
+        help="run runtime micro-benchmarks; append ops/sec to the perf ledger")
+    br.add_argument("--out", default=None,
+                    help="ledger path (default: BENCH_scheduler.json at the "
+                         "repo root)")
+    br.add_argument("--label", default="",
+                    help="entry label (e.g. 'post-overhaul')")
+    br.add_argument("--fast", action="store_true",
+                    help="run only the CI perf-smoke subset")
+    br.add_argument("-k", dest="keyword", default=None,
+                    help="pytest -k expression selecting benchmarks")
+    br.set_defaults(fn=cmd_bench_record)
 
     pp = sub.add_parser("platform", help="print a machine's platform JSON")
     pp.add_argument("machine", choices=["edison", "titan", "workstation"])

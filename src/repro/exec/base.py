@@ -18,10 +18,11 @@ Two implementations ship:
 from __future__ import annotations
 
 import abc
-import inspect
+import threading
+from types import GeneratorType
 from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
-from repro.runtime.context import ExecContext, scoped_context
+from repro.runtime.context import ExecContext, _tls
 from repro.runtime.future import Future
 from repro.runtime.task import Task, TaskState
 from repro.util.errors import HiperError
@@ -31,12 +32,28 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.runtime import HiperRuntime
     from repro.runtime.worker import WorkerState
 
+#: Counter key for the per-completion tally (built once, not per task).
+_COMPLETED_KEY = ("core", "tasks_completed")
+
 
 class Executor(abc.ABC):
     """Engine contract shared by the simulated and threaded executors."""
 
     #: "sim" or "threads"; modules may branch on this (e.g. poll intervals).
     mode: str = "abstract"
+
+    #: Lock class protecting engine-adjacent shared state (deque slots,
+    #: occupancy indexes, polling services). The single-threaded simulated
+    #: executor overrides this with :class:`repro.runtime.deques.NullLock`,
+    #: eliding all lock traffic from the scheduling hot path.
+    lock_class: type = threading.Lock
+
+    #: Whether the runtime must call :meth:`notify` on *every* enqueue, or
+    #: only when a deque slot flips from empty to non-empty. Engines with
+    #: exact occupancy tracking and no parking races (the simulated executor)
+    #: set this False: while a slot stays occupied, every worker that could
+    #: take from it is provably still maybe-ready.
+    notify_on_every_push: bool = True
 
     #: Optional :class:`repro.tools.TraceRecorder`; set via attach_tracer.
     tracer = None
@@ -76,8 +93,13 @@ class Executor(abc.ABC):
 
     # -- scheduling hooks -------------------------------------------------
     @abc.abstractmethod
-    def notify(self, runtime: "HiperRuntime", place: "Place") -> None:
-        """A task became ready at ``place``; wake candidate workers."""
+    def notify(self, runtime: "HiperRuntime", place: "Place",
+               created_by: Optional[int] = None) -> None:
+        """A task became ready at ``place``; wake candidate workers.
+
+        ``created_by`` (the spawning worker id, when known) lets engines wake
+        precisely: only worker ``created_by`` can *pop* the task, and only
+        workers with ``place`` on their steal path can *steal* it."""
 
     @abc.abstractmethod
     def block_until(
@@ -112,15 +134,20 @@ class Executor(abc.ABC):
         Shared by both executors; engine-specific accounting happens in the
         :meth:`on_task_start` hook.
         """
-        ctx = ExecContext(self, runtime, worker, task)
-        with scoped_context(ctx):
-            t0 = self.now() if self.tracer is not None else 0.0
+        # Context push/pop inlined (vs scoped_context): this wraps every task
+        # segment, and the thread-local stack access must happen per call (the
+        # threaded engine has one stack per OS thread).
+        stack = _tls.stack
+        stack.append(ExecContext(self, runtime, worker, task))
+        tracer = self.tracer
+        try:
+            t0 = self.now() if tracer is not None else 0.0
             self.on_task_start(worker, task)
             worker.tasks_run += 1
             try:
                 if task.gen is None:
                     result = task.start_body()
-                    if inspect.isgenerator(result):
+                    if type(result) is GeneratorType:
                         task.gen = result
                         self._drive_coroutine(runtime, task)
                     else:
@@ -130,12 +157,14 @@ class Executor(abc.ABC):
             except BaseException as exc:  # noqa: BLE001 - boundary by design
                 self._fail(runtime, task, exc)
             finally:
-                if self.tracer is not None:
+                if tracer is not None:
                     t1 = self.now()
-                    self.tracer.record(task.rank, worker.wid, task.module,
-                                       task.name, t0, t1,
-                                       task_id=task.task_id)
+                    tracer.record(task.rank, worker.wid, task.module,
+                                  task.name, t0, t1,
+                                  task_id=task.task_id)
                     runtime.stats.time(task.module, "task", t1 - t0)
+        finally:
+            stack.pop()
 
     def _drive_coroutine(self, runtime: "HiperRuntime", task: Task) -> None:
         while True:
@@ -167,7 +196,9 @@ class Executor(abc.ABC):
             task.result_promise.put(result)
         if task.scope is not None:
             task.scope.task_completed(None)
-        runtime.stats.count("core", "tasks_completed")
+        counters = runtime._counters
+        if counters is not None:
+            counters[_COMPLETED_KEY] += 1
 
     def _fail(self, runtime: "HiperRuntime", task: Task, exc: BaseException) -> None:
         task.state = TaskState.FAILED

@@ -11,6 +11,16 @@ worker that may have work; when no worker can find work it advances the event
 queue; when both are exhausted it has *proved* quiescence (and raises
 :class:`DeadlockError` if anything is still blocked).
 
+Worker selection is O(log W): maybe-ready workers live in a lazy-deletion
+heap keyed by ``(clock, rank, wid)``. Entries whose worker left the set are
+dropped on pop; entries whose clock went stale (the worker ran and advanced
+while staying maybe-ready) are re-keyed in place — clocks only move forward,
+so a stale entry always surfaces no later than its fresh position. The
+selection order is bit-for-bit identical to the previous O(W) ``min()`` scan
+(the key is a strict total order per worker); ``selection="scan"`` keeps the
+scan implementation for the equivalence test in
+``tests/test_scheduler_determinism.py``.
+
 Blocking (``future.wait``, ``finish``) uses *help-until-ready*: the blocked
 frame re-enters the engine loop, so any worker — including the blocked one —
 keeps executing ready tasks and events keep flowing. This nests on the Python
@@ -26,8 +36,9 @@ import sys
 from typing import Any, Callable, List, Optional, Set
 
 from repro.exec.base import Executor
-from repro.runtime.context import ExecContext, current_context, scoped_context
+from repro.runtime.context import ExecContext, _tls, current_context, scoped_context
 from repro.runtime.finish import FinishScope
+from repro.runtime.deques import NullLock
 from repro.runtime.future import Future, Promise
 from repro.runtime.runtime import HiperRuntime
 from repro.runtime.task import Task
@@ -40,18 +51,36 @@ class SimExecutor(Executor):
 
     mode = "sim"
 
+    #: Single OS thread: deque slots and occupancy indexes need no locking.
+    lock_class = NullLock
+
+    #: Exact occupancy + no parking races: wakes are only needed on
+    #: empty -> non-empty slot transitions (see Executor.notify_on_every_push).
+    notify_on_every_push = False
+
     #: Nested help-until-ready levels beyond which we fail loudly with advice
     #: instead of hitting Python's recursion limit somewhere unhelpful.
     MAX_HELP_DEPTH = 4000
 
-    def __init__(self, *, trace: bool = False, task_overhead: float = 0.0):
+    def __init__(self, *, trace: bool = False, task_overhead: float = 0.0,
+                 selection: str = "heap"):
         """``task_overhead``: virtual seconds charged per task dispatch
         (models scheduler/dispatch cost; 0 by default, exercised by the
-        runtime-overhead ablation bench)."""
+        runtime-overhead ablation bench). ``selection``: ``"heap"`` (default,
+        O(log W) lazy-deletion heap) or ``"scan"`` (legacy O(W) min-scan,
+        kept to prove the two produce identical schedules)."""
+        if selection not in ("heap", "scan"):
+            raise ConfigError(
+                f"selection must be 'heap' or 'scan', got {selection!r}")
         self._runtimes: List[HiperRuntime] = []
         self._workers: List[WorkerState] = []
-        self._coverage = {}  # (runtime id) -> place_id -> List[WorkerState]
+        # (runtime id) -> place_id -> (pop_cover: wid->WorkerState,
+        #                              steal_cover: List[WorkerState])
+        self._coverage = {}
         self._maybe_ready: Set[WorkerState] = set()
+        self._use_heap = selection == "heap"
+        self._ready_heap: List = []  # (clock, rank, wid, seq, worker)
+        self._wake_seq = itertools.count()
         self._events: List = []  # heap of (time, seq, fn)
         self._event_seq = itertools.count()
         self._event_floor = 0.0
@@ -94,11 +123,32 @@ class SimExecutor(Executor):
         if self._shutdown:
             raise RuntimeStateError("executor already shut down")
         self._runtimes.append(runtime)
+        # Precompute, per (place, creating worker), the tuple of workers that
+        # could actually take such a task: only the creator pops its slot (if
+        # the place is on its pop path) and only *other* workers steal it (if
+        # the place is on their steal path). notify() then wakes exactly the
+        # workers whose search could succeed, in one tuple walk.
         cov = {}
+        pop_sets = [set(w.pop_path) for w in runtime.workers]
+        steal_sets = [set(w.steal_path) for w in runtime.workers]
         for place in runtime.model:
-            cov[place.place_id] = [
-                runtime.workers[w] for w in runtime.paths.workers_covering(place)
+            steal_cover = [
+                w for w, s in zip(runtime.workers, steal_sets) if place in s
             ]
+            wake_all = tuple(
+                dict.fromkeys(
+                    [w for w, s in zip(runtime.workers, pop_sets)
+                     if place in s] + steal_cover
+                )
+            )
+            by_creator = []
+            for creator in range(runtime.num_workers):
+                wake = []
+                if place in pop_sets[creator]:
+                    wake.append(runtime.workers[creator])
+                wake.extend(w for w in steal_cover if w.wid != creator)
+                by_creator.append(tuple(wake))
+            cov[place.place_id] = (by_creator, wake_all)
         self._coverage[id(runtime)] = cov
         self._workers.extend(runtime.workers)
 
@@ -106,15 +156,20 @@ class SimExecutor(Executor):
         self._shutdown = True
         self._events.clear()
         self._maybe_ready.clear()
+        self._ready_heap.clear()
         self._restore_recursion_limit()
 
     def pending_events(self) -> int:
         return len(self._events)
 
     def now(self) -> float:
-        ctx = current_context()
-        if ctx is not None and ctx.worker is not None:
-            return ctx.worker.clock
+        # current_context() inlined: now() runs once per enqueue (release-time
+        # stamping), so the extra call is measurable on the dispatch path.
+        stack = _tls.stack
+        if stack:
+            worker = stack[-1].worker
+            if worker is not None:
+                return worker.clock
         return self._event_floor
 
     def charge(self, seconds: float) -> None:
@@ -127,9 +182,31 @@ class SimExecutor(Executor):
         if ctx.runtime is not None:
             ctx.runtime.stats.worker_activity(ctx.worker.wid, busy=seconds)
 
-    def notify(self, runtime: HiperRuntime, place) -> None:
-        for w in self._coverage[id(runtime)][place.place_id]:
-            self._maybe_ready.add(w)
+    def notify(self, runtime: HiperRuntime, place,
+               created_by: Optional[int] = None) -> None:
+        by_creator, wake_all = self._coverage[id(runtime)][place.place_id]
+        workers = wake_all if created_by is None else by_creator[created_by]
+        ready = self._maybe_ready
+        if self._use_heap:
+            heap, seq = self._ready_heap, self._wake_seq
+            for w in workers:
+                if w not in ready:
+                    ready.add(w)
+                    heapq.heappush(
+                        heap, (w.clock, w.rank, w.wid, next(seq), w))
+        else:
+            for w in workers:
+                ready.add(w)
+
+    def _wake(self, worker: WorkerState) -> None:
+        if worker not in self._maybe_ready:
+            self._maybe_ready.add(worker)
+            if self._use_heap:
+                heapq.heappush(
+                    self._ready_heap,
+                    (worker.clock, worker.rank, worker.wid,
+                     next(self._wake_seq), worker),
+                )
 
     def call_later(self, delay: float, fn: Callable[[], None]) -> None:
         if delay < 0:
@@ -137,9 +214,14 @@ class SimExecutor(Executor):
         heapq.heappush(self._events, (self.now() + delay, next(self._event_seq), fn))
 
     def call_at(self, when: float, fn: Callable[[], None]) -> None:
-        """Schedule at an absolute virtual time (used by the network fabric)."""
+        """Schedule at an absolute virtual time (used by the network fabric).
+
+        Clamped to the event floor, not zero: the floor only moves forward,
+        and an event stamped in the virtual past would sort "before" events
+        that have already been processed, silently reordering causality."""
         heapq.heappush(
-            self._events, (max(when, 0.0), next(self._event_seq), fn)
+            self._events,
+            (max(when, self._event_floor), next(self._event_seq), fn),
         )
 
     # ------------------------------------------------------------------
@@ -147,30 +229,58 @@ class SimExecutor(Executor):
     # ------------------------------------------------------------------
     def _step(self) -> bool:
         """Run one task or one event batch. False iff nothing can happen."""
-        while self._maybe_ready:
-            worker = min(
-                self._maybe_ready, key=lambda w: (w.clock, w.rank, w.wid)
-            )
-            task = find_task(worker)
-            if task is None:
-                self._maybe_ready.discard(worker)
-                continue
-            self._run_task(worker, task)
-            return True
+        if self._use_heap:
+            ready, heap = self._maybe_ready, self._ready_heap
+            while ready:
+                clock, _rank, _wid, _seq, worker = heap[0]
+                if worker not in ready:
+                    heapq.heappop(heap)  # lazily-deleted entry
+                    continue
+                if clock != worker.clock:
+                    # Stale key: the worker ran (clocks only advance) while
+                    # staying maybe-ready. Re-key at its current clock.
+                    heapq.heapreplace(
+                        heap, (worker.clock, worker.rank, worker.wid,
+                               next(self._wake_seq), worker))
+                    continue
+                task = find_task(worker)
+                if task is None:
+                    ready.discard(worker)
+                    heapq.heappop(heap)
+                    continue
+                self._run_task(worker, task)
+                return True
+        else:  # legacy scan-min selection (determinism cross-check)
+            while self._maybe_ready:
+                worker = min(
+                    self._maybe_ready, key=lambda w: (w.clock, w.rank, w.wid)
+                )
+                task = find_task(worker)
+                if task is None:
+                    self._maybe_ready.discard(worker)
+                    continue
+                self._run_task(worker, task)
+                return True
         if self._events:
             self._advance_events()
             return True
         return False
 
     def _run_task(self, worker: WorkerState, task: Task) -> None:
-        worker.advance_clock_to(task.release_time)
+        release = task.release_time
+        if release > worker.clock:  # advance_clock_to, inlined (hot path)
+            worker.idle_time += release - worker.clock
+            worker.clock = release
         if self.trace:  # pragma: no cover - debugging aid
             print(f"[sim t={worker.clock:.9f}] r{worker.rank}w{worker.wid} run {task.describe()}")
         self.execute_task(worker.runtime, worker, task)
         # The task may have pushed follow-up work for this worker; notify()
         # covers cross-worker wakes but re-adding ourselves is cheap and keeps
-        # the hot pop-path loop tight.
-        self._maybe_ready.add(worker)
+        # the hot pop-path loop tight. (Usually still a member here — then
+        # this is just a set test; the worker's existing heap entry is
+        # re-keyed lazily when its stale clock surfaces at the heap top.)
+        if worker not in self._maybe_ready:
+            self._wake(worker)
 
     def _advance_events(self) -> None:
         """Pop and run every event sharing the minimum timestamp."""
@@ -257,7 +367,7 @@ class SimExecutor(Executor):
         """Enqueue ``fn`` as a root task under a fresh finish scope; return a
         future satisfied (with ``fn``'s value) once the whole scope quiesces.
         Does not drive the engine — SPMD launchers submit all ranks first."""
-        scope = FinishScope(name=f"{name}-scope")
+        scope = FinishScope(name=f"{name}-scope", lock_cls=NullLock)
         inner = runtime.spawn(
             fn, scope=scope, return_future=True, name=name,
             place=runtime.workers[0].pop_path[0],
@@ -309,7 +419,10 @@ class SimExecutor(Executor):
         self, runtime: HiperRuntime, fn: Callable[[], Any], *, name: str = "root"
     ) -> Any:
         fut = self.submit_root(runtime, fn, name=name)
-        self.drive(lambda: fut.satisfied)
+        # Bind the promise once: the predicate runs per engine step, and a
+        # plain attribute read beats the Future.satisfied property call.
+        promise = fut._promise
+        self.drive(lambda: promise._satisfied)
         return fut.value()
 
     # ------------------------------------------------------------------

@@ -108,7 +108,11 @@ class ThreadedExecutor(Executor):
         if ctx is not None and ctx.runtime is not None and ctx.worker is not None:
             ctx.runtime.stats.worker_activity(ctx.worker.wid, busy=seconds)
 
-    def notify(self, runtime: HiperRuntime, place) -> None:
+    def notify(self, runtime: HiperRuntime, place,
+               created_by: Optional[int] = None) -> None:
+        # Parked workers recheck has_visible_work (an occupancy-mask test)
+        # on wake, so a broadcast is cheap enough; ``created_by`` precision
+        # only pays off on the simulated engine's maybe-ready set.
         with self._cond:
             self._cond.notify_all()
 

@@ -25,7 +25,7 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.platform.place import Place
-from repro.runtime.context import current_context, require_context
+from repro.runtime.context import _tls, require_context
 from repro.runtime.finish import FinishScope
 from repro.runtime.future import Future, Promise, when_all
 from repro.runtime.runtime import HiperRuntime
@@ -80,7 +80,15 @@ def async_(
 ) -> None:
     """Create a task executing ``body`` at the place closest to the current
     worker (paper: ``async([] { body; })``)."""
-    _resolve_rt(runtime).spawn(body, name=name, cost=cost)
+    if runtime is None:
+        # Inlined _resolve_rt: plain async_ is the hottest spawn spelling,
+        # so read the ambient context stack directly; fall back to
+        # current_runtime() only to raise its descriptive errors.
+        stack = _tls.stack
+        runtime = stack[-1].runtime if stack else None
+        if runtime is None:
+            runtime = current_runtime()
+    runtime.spawn(body, name=name, cost=cost)
 
 
 def async_at(
@@ -162,7 +170,8 @@ def finish(body: Callable[[], Any], *, name: str = "finish") -> Any:
     if ctx.task is None:
         raise RuntimeStateError("finish() must be called from inside a task")
     task = ctx.task
-    scope = FinishScope(parent=task.active_scope, name=name)
+    scope = FinishScope(parent=task.active_scope, name=name,
+                        lock_cls=ctx.executor.lock_class)
     task.active_scope = scope
     body_exc: Optional[BaseException] = None
     result = None
@@ -174,8 +183,12 @@ def finish(body: Callable[[], Any], *, name: str = "finish") -> Any:
         task.active_scope = scope.parent
     scope.close()
     # Join even when the body failed: spawned tasks are not orphaned.
+    # The predicate runs once per engine step while joining, so bind the
+    # scope's promise and read its flag directly (vs. the quiescent property
+    # -> Future.satisfied property chain: three calls per step).
+    promise = scope._promise
     ctx.executor.block_until(
-        lambda: scope.quiescent,
+        lambda: promise._satisfied,
         description=f"finish scope {name!r}",
         time_source=lambda: scope.all_done_future().done_time(),
     )
@@ -190,7 +203,8 @@ def begin_finish(name: str = "finish") -> FinishScope:
     ctx = require_context()
     if ctx.task is None:
         raise RuntimeStateError("begin_finish() must be called from inside a task")
-    scope = FinishScope(parent=ctx.task.active_scope, name=name)
+    scope = FinishScope(parent=ctx.task.active_scope, name=name,
+                        lock_cls=ctx.executor.lock_class)
     ctx.task.active_scope = scope
     return scope
 

@@ -14,8 +14,9 @@ across the body callable's frame), so the runtime also exposes the split form
 from __future__ import annotations
 
 import threading
-from typing import List, Optional
+from typing import List, Optional, Type
 
+from repro.runtime.deques import NullLock
 from repro.runtime.future import Future, Promise
 from repro.util.errors import HiperError
 
@@ -36,15 +37,29 @@ class FinishScope:
     The scope starts *open* with a count of one held by the opener (the body
     itself); :meth:`close` drops that hold. The all-done promise fires when
     the count reaches zero after close.
+
+    ``lock_cls`` follows the executor's pluggable lock discipline
+    (:attr:`repro.exec.base.Executor.lock_class`): under the single-threaded
+    simulated engine (:class:`~repro.runtime.deques.NullLock`) the scope skips
+    locking entirely — spawn/complete bump the counter twice per task, making
+    the lock traffic a measurable dispatch cost.
     """
 
     __slots__ = ("parent", "name", "_lock", "_count", "_closed", "_promise",
                  "_exceptions", "_end_time")
 
-    def __init__(self, parent: Optional["FinishScope"] = None, name: str = "finish"):
+    def __init__(
+        self,
+        parent: Optional["FinishScope"] = None,
+        name: str = "finish",
+        lock_cls: Type = threading.Lock,
+    ):
         self.parent = parent
         self.name = name
-        self._lock = threading.Lock()
+        # None (not a NullLock instance) when lock-free: a no-op context
+        # manager would cost two Python calls — more than the C lock it
+        # replaces — so the hot methods branch on None instead.
+        self._lock = None if lock_cls is NullLock else lock_cls()
         self._count = 1  # the opener's hold
         self._closed = False
         self._promise = Promise(name=f"{name}-done")
@@ -53,7 +68,15 @@ class FinishScope:
 
     # -- task registration ------------------------------------------------
     def task_spawned(self) -> None:
-        with self._lock:
+        lock = self._lock
+        if lock is None:
+            if self._closed and self._count == 0:
+                raise HiperError(
+                    f"finish scope {self.name!r} already joined; cannot spawn into it"
+                )
+            self._count += 1
+            return
+        with lock:
             if self._closed and self._count == 0:
                 raise HiperError(
                     f"finish scope {self.name!r} already joined; cannot spawn into it"
@@ -61,7 +84,15 @@ class FinishScope:
             self._count += 1
 
     def task_completed(self, exc: Optional[BaseException] = None) -> None:
-        with self._lock:
+        lock = self._lock
+        if lock is None:
+            if exc is not None:
+                self._exceptions.append(exc)
+            self._count -= 1
+            if self._closed and self._count == 0:
+                self._promise.put(None)
+            return
+        with lock:
             if exc is not None:
                 self._exceptions.append(exc)
             self._count -= 1
@@ -71,12 +102,20 @@ class FinishScope:
 
     def close(self) -> None:
         """Drop the opener's hold (body finished executing)."""
-        with self._lock:
+        lock = self._lock
+        if lock is None:
             if self._closed:
                 raise HiperError(f"finish scope {self.name!r} closed twice")
             self._closed = True
             self._count -= 1
             fire = self._count == 0
+        else:
+            with lock:
+                if self._closed:
+                    raise HiperError(f"finish scope {self.name!r} closed twice")
+                self._closed = True
+                self._count -= 1
+                fire = self._count == 0
         if fire:
             self._promise.put(None)
 
@@ -94,8 +133,11 @@ class FinishScope:
 
     def raise_collected(self) -> None:
         """Re-raise exceptions gathered from tasks in this scope, if any."""
-        with self._lock:
+        if self._lock is None:
             excs, self._exceptions = self._exceptions, []
+        else:
+            with self._lock:
+                excs, self._exceptions = self._exceptions, []
         if len(excs) == 1:
             raise excs[0]
         if excs:

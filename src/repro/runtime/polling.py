@@ -19,7 +19,6 @@ pure interval polling.
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.platform.place import Place
@@ -50,7 +49,9 @@ class PollingService:
         self.sweep_cost = float(sweep_cost)
         self.eager_kick = eager_kick
         self.name = name
-        self._lock = threading.Lock()
+        # Pluggable lock discipline: a no-op lock under the single-threaded
+        # simulated executor, a real threading.Lock under the threaded one.
+        self._lock = runtime.executor.lock_class()
         self._pending: List[Tuple[PollFn, Promise]] = []
         self._task_live = False  # a polling task is scheduled or armed
         #: Arm generation. Every spawned sweep bumps it (under the lock), so

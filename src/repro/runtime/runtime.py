@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence,
 from repro.platform.model import PlatformModel
 from repro.platform.paths import WorkerPaths, make_paths
 from repro.platform.place import Place, PlaceType
-from repro.runtime.context import current_context
+from repro.runtime.context import _tls, current_context
 from repro.runtime.deques import DequeTable
 from repro.runtime.finish import FinishScope
 from repro.runtime.future import Future, Promise
@@ -53,6 +53,11 @@ class HiperRuntime:
         self.nranks = nranks
         self.rng_factory = RngFactory(seed).spawn("rank", rank)
         self.stats = RuntimeStats(stats_config)
+        #: Pre-bound counter hook — spawn/dispatch call this per task.
+        self._count = self.stats.count
+        #: Direct counter dict for the per-spawn/per-completion tallies
+        #: (None when stats are disabled; the flag is fixed at construction).
+        self._counters = self.stats.counters if self.stats.config.enabled else None
         self.num_workers = model.num_workers
 
         if isinstance(paths, str):
@@ -65,7 +70,11 @@ class HiperRuntime:
             )
         self.paths = paths
 
-        self.deques = DequeTable(model)
+        # The executor supplies the lock discipline: real locks under the
+        # threaded engine, no-op locks (and lock-free deque slots) under the
+        # single-threaded simulated engine.
+        self.deques = DequeTable(model, lock_cls=executor.lock_class)
+        self._notify_every_push = executor.notify_on_every_push
         self.workers: List[WorkerState] = [
             WorkerState(
                 w, rank, self, paths.pop[w], paths.steal[w],
@@ -191,7 +200,9 @@ class HiperRuntime:
         if not self._started:
             raise RuntimeStateError("runtime not started; call start() first")
 
-        ctx = current_context()
+        # current_context() inlined — spawn is the framework's hottest entry.
+        stack = _tls.stack
+        ctx = stack[-1] if stack else None
         in_ctx = ctx is not None and ctx.runtime is self and ctx.worker is not None
         created_by = ctx.worker.wid if in_ctx else 0
 
@@ -204,7 +215,9 @@ class HiperRuntime:
                     "(use HiperRuntime.run for the root of a computation)"
                 )
         if place is None:
-            place = self.default_place()
+            # Inline default_place(): we already resolved the context, and
+            # this runs on every plain async_ spawn.
+            place = ctx.worker.pop_path[0] if in_ctx else self.sysmem
         elif place not in self.model:
             raise ConfigError(f"place {place.name!r} belongs to a different model")
 
@@ -212,13 +225,14 @@ class HiperRuntime:
             Promise(name=f"{name or getattr(fn, '__name__', 'task')}-done")
             if return_future else None
         )
-        task = Task(
-            fn, args, kwargs, name=name, module=module, place=place,
-            created_by=created_by, scope=scope, cost=cost,
-            result_promise=promise, rank=self.rank,
-        )
+        # Positional args (matching Task.__init__'s order): keyword passing
+        # costs noticeably more per call, and this runs once per task.
+        task = Task(fn, args, kwargs, name, module, place,
+                    created_by, scope, cost, promise, self.rank)
         scope.task_spawned()
-        self.stats.count(module, "tasks_spawned")
+        counters = self._counters
+        if counters is not None:
+            counters[(module, "tasks_spawned")] += 1
         tracer = self.executor.tracer
         if tracer is not None:
             tracer.record_spawn(self.rank, created_by, task.task_id,
@@ -250,8 +264,12 @@ class HiperRuntime:
     def _enqueue(self, task: Task) -> None:
         task.state = TaskState.READY
         task.release_time = self.executor.now()
-        self.deques.push(task)
-        self.executor.notify(self, task.place)
+        newly_occupied = self.deques.push(task)
+        # Engines that track exact occupancy (the simulated executor) only
+        # need a wake when a slot flips non-empty: while a slot is occupied,
+        # every worker able to take from it provably stays maybe-ready.
+        if newly_occupied or self._notify_every_push:
+            self.executor.notify(self, task.place, task.created_by)
 
     def reenqueue(self, task: Task) -> None:
         """Put a resumed/yielded task back on its deque (continuations)."""
@@ -264,7 +282,10 @@ class HiperRuntime:
         and they re-arm from timer context where no task scope is ambient.
         """
         if self._daemon_scope is None:
-            self._daemon_scope = FinishScope(name=f"daemon-r{self.rank}")
+            self._daemon_scope = FinishScope(
+                name=f"daemon-r{self.rank}",
+                lock_cls=self.executor.lock_class,
+            )
         return self._daemon_scope
 
     # ------------------------------------------------------------------

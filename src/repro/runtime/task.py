@@ -63,7 +63,7 @@ class Task:
     """
 
     __slots__ = (
-        "task_id", "fn", "args", "kwargs", "name", "module", "place",
+        "task_id", "fn", "args", "kwargs", "_name", "module", "place",
         "created_by", "scope", "cost", "result_promise", "state", "gen",
         "_send_value", "_send_exc", "release_time", "rank", "active_scope",
     )
@@ -89,8 +89,8 @@ class Task:
         self.task_id = next(_task_ids)
         self.fn = fn
         self.args = args
-        self.kwargs = kwargs or {}
-        self.name = name or getattr(fn, "__name__", "task")
+        self.kwargs = kwargs
+        self._name = name  # resolved lazily from fn when empty (hot path)
         self.module = module
         self.place = place
         self.created_by = created_by
@@ -108,12 +108,25 @@ class Task:
         #: by this task register with this scope.
         self.active_scope = scope
 
+    @property
+    def name(self) -> str:
+        """Task name for diagnostics/tracing; derived from the body's
+        ``__name__`` on first read so unnamed hot-path spawns never pay the
+        getattr."""
+        n = self._name
+        if not n:
+            n = getattr(self.fn, "__name__", "task")
+            self._name = n
+        return n
+
     # -- coroutine plumbing (used by executors) -------------------------
     def start_body(self) -> Any:
         """Invoke the body. Returns the body's value, or the generator if the
         body is a coroutine (caller must then drive it via :meth:`step`)."""
         self.state = TaskState.RUNNING
-        return self.fn(*self.args, **self.kwargs)
+        if self.kwargs:
+            return self.fn(*self.args, **self.kwargs)
+        return self.fn(*self.args)
 
     def step(self) -> Tuple[bool, Any]:
         """Advance a coroutine task one hop.

@@ -41,3 +41,59 @@ class TestCli:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_bench_record_parser(self):
+        args = build_parser().parse_args(
+            ["bench-record", "--fast", "--label", "x", "--out", "l.json"])
+        assert args.fast and args.label == "x" and args.out == "l.json"
+
+
+class TestBenchRecordLedger:
+    """Ledger mechanics of repro.bench.record (no benchmark run)."""
+
+    RAW = {
+        "datetime": "2026-08-06T00:00:00+00:00",
+        "commit_info": {"id": "abc123"},
+        "machine_info": {"node": "box", "python_version": "3.11.7"},
+        "benchmarks": [{
+            "name": "test_spawn_and_join_throughput_sim",
+            "extra_info": {"tasks_per_call": 2000},
+            "stats": {"ops": 100.0, "mean": 0.01, "median": 0.009,
+                      "stddev": 0.001, "rounds": 42},
+        }],
+    }
+
+    def test_entry_from_pytest_json_and_append(self, tmp_path):
+        from repro.bench.record import (append_entry, entry_from_pytest_json,
+                                        format_entry, load_ledger)
+
+        raw_path = tmp_path / "raw.json"
+        raw_path.write_text(json.dumps(self.RAW))
+        entry = entry_from_pytest_json(str(raw_path), label="baseline")
+        assert entry["commit"] == "abc123"
+        assert entry["date"] == "2026-08-06T00:00:00+00:00"
+        rec = entry["benchmarks"]["test_spawn_and_join_throughput_sim"]
+        assert rec["ops_per_sec"] == 100.0 and rec["rounds"] == 42
+
+        ledger = tmp_path / "ledger.json"
+        append_entry(str(ledger), entry)
+        append_entry(str(ledger), {**entry, "label": "after"})
+        entries = load_ledger(str(ledger))
+        assert [e["label"] for e in entries] == ["baseline", "after"]
+
+        table = format_entry(entries[1], entries[0])
+        assert "1.00x vs baseline" in table
+
+    def test_committed_ledger_has_baseline_and_post_entries(self):
+        import os
+
+        from repro.bench.record import load_ledger, repo_root
+
+        entries = load_ledger(
+            os.path.join(repo_root(), "BENCH_scheduler.json"))
+        assert len(entries) >= 2
+        key = "test_spawn_and_join_throughput_sim"
+        base, post = entries[0], entries[1]
+        ratio = (post["benchmarks"][key]["ops_per_sec"]
+                 / base["benchmarks"][key]["ops_per_sec"])
+        assert ratio >= 1.5  # the overhaul's acceptance bar

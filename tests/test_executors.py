@@ -63,6 +63,28 @@ class TestSimExecutorEvents:
         with pytest.raises(ConfigError):
             sim_rt1.executor.call_later(-1, lambda: None)
 
+    def test_call_at_in_the_virtual_past_clamps_to_event_floor(self, sim_rt1):
+        """Regression: ``call_at`` used to clamp to 0.0 instead of the event
+        floor, so an event stamped in the virtual past could sort before an
+        event scheduled *earlier in real causality* — here, B (stamped 1ms)
+        would overtake A (stamped 2ms) even though A was scheduled first from
+        the same 5ms event. Clamping to the floor stamps both at 5ms and the
+        same-timestamp batch preserves FIFO scheduling order."""
+        order = []
+
+        def main():
+            ex = sim_rt1.executor
+
+            def at_five():
+                ex.call_at(2e-3, lambda: order.append("A"))
+                ex.call_at(1e-3, lambda: order.append("B"))
+
+            ex.call_later(5e-3, at_five)
+            timer_future(6e-3).wait()
+            return order
+
+        assert sim_rt1.run(main) == ["A", "B"]
+
     def test_makespan_covers_worker_clocks_and_events(self, sim_rt):
         def main():
             charge(1e-3)

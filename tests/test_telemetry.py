@@ -410,7 +410,9 @@ class TestScopedRecursionLimit:
 # deque snapshot (satellite: double total() read)
 # ---------------------------------------------------------------------------
 class TestDequeSnapshot:
-    def test_snapshot_reads_each_place_once(self, sim_rt, monkeypatch):
+    def test_snapshot_reads_counters_not_slots(self, sim_rt, monkeypatch):
+        """snapshot() reads each place's O(1) occupancy counter (one int read
+        per place — no TOCTOU window) instead of walking slots via total()."""
         calls = []
         orig = PlaceDeques.total
 
@@ -419,9 +421,12 @@ class TestDequeSnapshot:
             return orig(self)
 
         monkeypatch.setattr(PlaceDeques, "total", counted)
-        sim_rt.deques.snapshot()
-        assert len(calls) == len(set(calls)), "a place was read twice"
-        assert len(calls) == len(list(sim_rt.model))
+        snap = sim_rt.deques.snapshot()
+        assert calls == [], "snapshot must not walk slots via total()"
+        assert snap == {
+            pd.place.name: pd.ready
+            for pd in sim_rt.deques._by_place_id.values() if pd.ready
+        }
 
 
 # ---------------------------------------------------------------------------
