@@ -78,6 +78,30 @@ def test_forasync_chunking_throughput_sim(benchmark):
     benchmark(run)
 
 
+def test_spawn_and_join_armed_injector_sim(benchmark):
+    """No-fault resilience overhead: the same spawn/join storm as
+    test_spawn_and_join_throughput_sim, but with a FaultInjector armed whose
+    one task rule never matches. Measures what the fault hook and redirect
+    checks cost on the hot path when nothing is actually injected — compare
+    the two benches in the ledger to see the tax."""
+    from repro.resilience import FaultInjector, FaultPlan
+
+    rt = _sim_rt()
+    plan = FaultPlan.from_spec({
+        "seed": 0,
+        "faults": [{"kind": "task_fail", "name": "never-spawned"}],
+    })
+    FaultInjector(plan).attach(rt.executor)
+
+    def run():
+        rt.run(lambda: finish(
+            lambda: [async_(lambda: None) for _ in range(N_TASKS)]))
+
+    benchmark(run)
+    benchmark.extra_info["tasks_per_call"] = N_TASKS
+    benchmark.extra_info["injector"] = "armed, zero matching rules"
+
+
 def test_promise_callback_overhead(benchmark):
     def run():
         for _ in range(1000):

@@ -315,6 +315,56 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run one figure's HiPER variant under a seeded fault plan and report
+    the fault/retry/recovery telemetry; optionally write the fault log,
+    metrics, and Chrome trace to ``--out``. Same seed + same plan => the
+    identical fault sequence, so chaos runs are replayable."""
+    import json
+    import os
+
+    from repro.distrib import spmd_run
+    from repro.exec.sim import SimExecutor
+    from repro.resilience import FaultInjector, FaultPlan
+    from repro.tools import TraceRecorder
+
+    plan = FaultPlan.load(args.plan, seed=args.seed)
+    injector = FaultInjector(plan)
+    main_fn, cluster, factories = _profile_target(args.figure, args.scale)
+    ex = SimExecutor()
+    tracer = TraceRecorder()
+    ex.attach_tracer(tracer)
+    t0 = time.time()
+    res = spmd_run(main_fn, cluster, module_factories=factories,
+                   executor=ex, fault_injector=injector)
+
+    merged = res.merged_stats()
+    retries = sum(v for (_m, op), v in merged.counters.items()
+                  if op == "retries")
+    counts = injector.counts()
+    print(f"chaos {args.figure} [{args.plan}, seed={plan.seed}] on "
+          f"{res.nranks} ranks: makespan {res.makespan * 1e3:.3f} ms "
+          f"(virtual), {len(injector.events)} faults injected, "
+          f"{retries} retries ({time.time() - t0:.1f}s wall)")
+    for kind in sorted(counts):
+        print(f"  {kind:>18s}: {counts[kind]}")
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        injector.save_log(os.path.join(args.out, "fault_log.json"))
+        tracer.save_chrome_trace(os.path.join(args.out, "trace.json"))
+        metrics = {
+            "figure": args.figure, "plan": args.plan, "seed": plan.seed,
+            "nranks": res.nranks, "makespan": res.makespan,
+            "faults": counts, "retries": retries,
+            "results_ok": all(r is not None for r in res.results),
+        }
+        mpath = os.path.join(args.out, "metrics.json")
+        with open(mpath, "w", encoding="utf-8") as fh:
+            json.dump(metrics, fh, indent=1)
+        print(f"wrote {args.out}/fault_log.json, metrics.json, trace.json")
+    return 0
+
+
 def cmd_platform(args) -> int:
     from repro.platform import discover, machine
 
@@ -356,6 +406,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("validate", help="run every app's correctness check"
                    ).set_defaults(fn=cmd_validate)
+    # Alias: "run-all" reads naturally in CI scripts; exit code is nonzero
+    # iff any application fails its oracle.
+    sub.add_parser("run-all", help="alias for validate"
+                   ).set_defaults(fn=cmd_validate)
 
     prof = sub.add_parser(
         "profile", help="run one figure instrumented; emit metrics + trace")
@@ -380,6 +434,21 @@ def build_parser() -> argparse.ArgumentParser:
     br.add_argument("-k", dest="keyword", default=None,
                     help="pytest -k expression selecting benchmarks")
     br.set_defaults(fn=cmd_bench_record)
+
+    ch = sub.add_parser(
+        "chaos", help="run one figure under a seeded fault plan")
+    ch.add_argument("figure",
+                    choices=["fig4", "fig5", "fig6", "fig7", "g500"])
+    ch.add_argument("--plan", default="mixed",
+                    help="preset (drop/delay/corrupt/mixed) or JSON spec file")
+    ch.add_argument("--seed", type=int, default=0,
+                    help="fault-plan seed (same seed => same fault sequence)")
+    ch.add_argument("--scale", type=float, default=0.25,
+                    help="preset workload scale (1.0 = benchmark size)")
+    ch.add_argument("--out", default=None,
+                    help="directory for fault_log.json / metrics.json / "
+                         "trace.json")
+    ch.set_defaults(fn=cmd_chaos)
 
     pp = sub.add_parser("platform", help="print a machine's platform JSON")
     pp.add_argument("machine", choices=["edison", "titan", "workstation"])

@@ -150,6 +150,7 @@ def spmd_run(
     *,
     module_factories: Sequence[ModuleFactory] = (),
     executor: Optional[SimExecutor] = None,
+    fault_injector=None,
 ) -> SpmdResult:
     """Run ``main(ctx)`` on every rank; return per-rank results and timing.
 
@@ -158,6 +159,11 @@ def spmd_run(
     each rank's pluggable modules, e.g.::
 
         spmd_run(main, cfg, module_factories=[mpi_factory(), cuda_factory()])
+
+    ``fault_injector`` (a :class:`repro.resilience.FaultInjector`) hooks the
+    run for chaos testing: message faults into the fabric, task faults into
+    the executor, and per-rank timed failures, retry policies, and
+    checkpoint-store faults via ``arm_rank``.
     """
     config = config or ClusterConfig()
     ex = executor or SimExecutor(trace=config.trace,
@@ -166,6 +172,8 @@ def spmd_run(
     fabric = SimFabric(ex, nranks, config.network,
                        ranks_per_node=config.ranks_per_node,
                        topology=config.topology)
+    if fault_injector is not None:
+        fault_injector.attach(ex, fabric)
 
     shared: dict = {}
     contexts: List[RankContext] = []
@@ -188,6 +196,11 @@ def spmd_run(
     for ctx in contexts:
         mods = [factory(ctx) for factory in module_factories]
         ctx.runtime.start(mods)
+    if fault_injector is not None:
+        # After module install: retry policies need registered channels, and
+        # storage hooks need the checkpoint module's store to exist.
+        for ctx in contexts:
+            fault_injector.arm_rank(ctx)
 
     futures = [
         ex.submit_root(ctx.runtime, _bind_main(main, ctx), name=f"rank{ctx.rank}-main")

@@ -58,6 +58,12 @@ class Executor(abc.ABC):
     #: Optional :class:`repro.tools.TraceRecorder`; set via attach_tracer.
     tracer = None
 
+    #: Optional fault-injection hook (``repro.resilience``): called with the
+    #: task before its body first runs; raising fails the task through the
+    #: normal ``_fail`` path. None in production — one attribute load + None
+    #: test per fresh task is the entire no-fault cost.
+    task_fault_hook = None
+
     def attach_tracer(self, tracer) -> None:
         """Record every executed task segment into ``tracer`` (paper §V
         tooling: the unified scheduler sees all work, so one hook covers
@@ -146,6 +152,9 @@ class Executor(abc.ABC):
             worker.tasks_run += 1
             try:
                 if task.gen is None:
+                    fault_hook = self.task_fault_hook
+                    if fault_hook is not None:
+                        fault_hook(task)
                     result = task.start_body()
                     if type(result) is GeneratorType:
                         task.gen = result
@@ -199,6 +208,9 @@ class Executor(abc.ABC):
         counters = runtime._counters
         if counters is not None:
             counters[_COMPLETED_KEY] += 1
+        ep = task.epilogue
+        if ep is not None:
+            ep(task, None)
 
     def _fail(self, runtime: "HiperRuntime", task: Task, exc: BaseException) -> None:
         task.state = TaskState.FAILED
@@ -212,6 +224,9 @@ class Executor(abc.ABC):
             task.scope.task_completed(exc)
         else:  # pragma: no cover - root tasks always have a scope
             raise exc
+        ep = task.epilogue
+        if ep is not None:
+            ep(task, exc)
 
     # -- engine-specific accounting hook -----------------------------------
     def on_task_start(self, worker: "WorkerState", task: Task) -> None:

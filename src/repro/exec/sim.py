@@ -43,7 +43,13 @@ from repro.runtime.future import Future, Promise
 from repro.runtime.runtime import HiperRuntime
 from repro.runtime.task import Task
 from repro.runtime.worker import WorkerState, find_task
-from repro.util.errors import ConfigError, DeadlockError, HiperError, RuntimeStateError
+from repro.util.errors import (
+    ConfigError,
+    DeadlockError,
+    HiperError,
+    PlaceFailure,
+    RuntimeStateError,
+)
 
 
 class SimExecutor(Executor):
@@ -85,6 +91,7 @@ class SimExecutor(Executor):
         self._event_seq = itertools.count()
         self._event_floor = 0.0
         self._help_depth = 0
+        self._dead_workers = {}  # id(runtime) -> set of failed worker ids
         self._blocked: List[str] = []
         self._shutdown = False
         self._stepping = False
@@ -123,34 +130,40 @@ class SimExecutor(Executor):
         if self._shutdown:
             raise RuntimeStateError("executor already shut down")
         self._runtimes.append(runtime)
-        # Precompute, per (place, creating worker), the tuple of workers that
-        # could actually take such a task: only the creator pops its slot (if
-        # the place is on its pop path) and only *other* workers steal it (if
-        # the place is on their steal path). notify() then wakes exactly the
-        # workers whose search could succeed, in one tuple walk.
+        self._coverage[id(runtime)] = self._build_coverage(runtime)
+        self._workers.extend(runtime.workers)
+
+    def _build_coverage(self, runtime: HiperRuntime,
+                        exclude=frozenset()):
+        """Precompute, per (place, creating worker), the tuple of workers
+        that could actually take such a task: only the creator pops its slot
+        (if the place is on its pop path) and only *other* workers steal it
+        (if the place is on their steal path). notify() then wakes exactly
+        the workers whose search could succeed, in one tuple walk.
+
+        ``exclude`` (worker ids) drops failed workers from every wake list —
+        fail_worker rebuilds the maps so the dead worker is never woken
+        again."""
         cov = {}
-        pop_sets = [set(w.pop_path) for w in runtime.workers]
-        steal_sets = [set(w.steal_path) for w in runtime.workers]
+        live = [w for w in runtime.workers if w.wid not in exclude]
+        pop_sets = {w.wid: set(w.pop_path) for w in live}
+        steal_sets = {w.wid: set(w.steal_path) for w in live}
         for place in runtime.model:
-            steal_cover = [
-                w for w, s in zip(runtime.workers, steal_sets) if place in s
-            ]
+            steal_cover = [w for w in live if place in steal_sets[w.wid]]
             wake_all = tuple(
                 dict.fromkeys(
-                    [w for w, s in zip(runtime.workers, pop_sets)
-                     if place in s] + steal_cover
+                    [w for w in live if place in pop_sets[w.wid]] + steal_cover
                 )
             )
             by_creator = []
             for creator in range(runtime.num_workers):
                 wake = []
-                if place in pop_sets[creator]:
+                if place in pop_sets.get(creator, ()):
                     wake.append(runtime.workers[creator])
                 wake.extend(w for w in steal_cover if w.wid != creator)
                 by_creator.append(tuple(wake))
             cov[place.place_id] = (by_creator, wake_all)
-        self._coverage[id(runtime)] = cov
-        self._workers.extend(runtime.workers)
+        return cov
 
     def shutdown(self) -> None:
         self._shutdown = True
@@ -223,6 +236,95 @@ class SimExecutor(Executor):
             self._events,
             (max(when, self._event_floor), next(self._event_seq), fn),
         )
+
+    # ------------------------------------------------------------------
+    # fault injection (repro.resilience)
+    # ------------------------------------------------------------------
+    def fail_place(self, runtime: HiperRuntime, place,
+                   reassign_to=None):
+        """Simulate the failure of ``place`` on ``runtime`` at the current
+        virtual time.
+
+        Ready tasks whose body has not started are *replayed*: moved to
+        ``reassign_to`` (default: system memory) with ``attempts`` bumped.
+        Their finish-scope registration carries over unchanged, so enclosing
+        joins keep waiting for the replayed work. Partially-executed
+        coroutine continuations have observed state that died with the place,
+        so they are failed with :class:`PlaceFailure` (catch it with
+        ``async_retry(retry_on=PlaceFailure)`` to restore-and-redo from a
+        checkpoint). Future enqueues targeting the place are redirected to
+        the fallback. Returns ``(replayed, killed)`` counts.
+        """
+        fallback = reassign_to if reassign_to is not None else runtime.sysmem
+        if fallback is place:
+            raise ConfigError(
+                f"cannot reassign failed place {place.name!r} to itself")
+        if fallback.place_id in runtime._dead_places:
+            raise ConfigError(
+                f"fallback place {fallback.name!r} has itself failed")
+        t = self.now()
+        drained = runtime.deques.at(place).drain()
+        runtime.mark_place_failed(place, fallback)
+        replayed = killed = 0
+        for task in drained:
+            if task.gen is None:
+                task.attempts += 1
+                task.place = fallback
+                replayed += 1
+                runtime._enqueue(task)
+            else:
+                killed += 1
+                self._fail(runtime, task, PlaceFailure(
+                    f"place {place.name!r} on rank {runtime.rank} failed at "
+                    f"t={t:.9f} with task {task.name!r} in flight",
+                    place=place.name))
+        stats = runtime.stats
+        stats.count("resilience", "place_failures")
+        if replayed:
+            stats.count("resilience", "tasks_replayed", replayed)
+        if killed:
+            stats.count("resilience", "tasks_killed", killed)
+        stats.sample("resilience/failures", t, float(replayed + killed))
+        return replayed, killed
+
+    def fail_worker(self, runtime: HiperRuntime, wid: int) -> int:
+        """Simulate the failure of worker ``wid`` on ``runtime``.
+
+        The worker leaves the maybe-ready set (its stale heap entries are
+        lazily discarded), every wake-coverage list is rebuilt without it,
+        and its deque slots are evacuated: stranded tasks are re-pushed under
+        the lowest live worker id, which also receives all future pushes
+        crediting the dead worker. Returns the number of tasks moved.
+        """
+        if not 0 <= wid < runtime.num_workers:
+            raise ConfigError(
+                f"worker {wid} out of range [0, {runtime.num_workers})")
+        dead = self._dead_workers.setdefault(id(runtime), set())
+        if wid in dead:
+            return 0
+        if len(dead) + 1 >= runtime.num_workers:
+            raise ConfigError(
+                f"cannot fail worker {wid}: it is the last live worker on "
+                f"rank {runtime.rank}")
+        dead.add(wid)
+        worker = runtime.workers[wid]
+        self._maybe_ready.discard(worker)
+        self._coverage[id(runtime)] = self._build_coverage(runtime,
+                                                           exclude=dead)
+        target = min(w.wid for w in runtime.workers if w.wid not in dead)
+        runtime.mark_worker_failed(wid, target)
+        moved = 0
+        for place in runtime.model:
+            for task in runtime.deques.at(place).slots[wid].drain():
+                task.created_by = target
+                moved += 1
+                runtime._enqueue(task)
+        stats = runtime.stats
+        stats.count("resilience", "worker_failures")
+        if moved:
+            stats.count("resilience", "tasks_moved", moved)
+        stats.sample("resilience/failures", self.now(), float(moved))
+        return moved
 
     # ------------------------------------------------------------------
     # the engine loop

@@ -37,10 +37,13 @@ class ThreadedExecutor(Executor):
 
     mode = "threads"
 
-    def __init__(self, *, block_timeout: float = 30.0):
+    def __init__(self, *, block_timeout: float = 30.0, join_timeout: float = 5.0):
         if block_timeout <= 0:
             raise ConfigError("block_timeout must be positive")
+        if join_timeout <= 0:
+            raise ConfigError("join_timeout must be positive")
         self.block_timeout = block_timeout
+        self.join_timeout = join_timeout
         self._runtime: Optional[HiperRuntime] = None
         self._threads: List[threading.Thread] = []
         self._cond = threading.Condition()
@@ -85,11 +88,26 @@ class ThreadedExecutor(Executor):
         with self._cond:
             self._stop = True
             self._cond.notify_all()
+        leaked: List[str] = []
         for th in self._threads:
-            th.join(timeout=5.0)
+            th.join(timeout=self.join_timeout)
+            if th.is_alive():
+                leaked.append(th.name)
         if self._timer_thread is not None:
-            self._timer_thread.join(timeout=5.0)
+            self._timer_thread.join(timeout=self.join_timeout)
+            if self._timer_thread.is_alive():
+                leaked.append(self._timer_thread.name)
         self._threads.clear()
+        self._timer_thread = None
+        if leaked:
+            # A worker stuck in a task body survived the stop signal. Fail
+            # loudly: a silently-leaked thread keeps mutating runtime state
+            # after "shutdown" and poisons everything the caller does next.
+            raise RuntimeStateError(
+                f"shutdown leaked {len(leaked)} thread(s) still alive after "
+                f"{self.join_timeout}s: {', '.join(leaked)} (likely a task "
+                "body stuck in non-cooperative blocking)"
+            )
 
     # ------------------------------------------------------------------
     def now(self) -> float:

@@ -70,6 +70,12 @@ class SimStore:
         self._op_seq = itertools.count()
         self.writes = 0
         self.reads = 0
+        #: Optional fault-injection hook (``repro.resilience``): called as
+        #: ``hook(op_kind, key, nbytes)`` before a write takes effect; a
+        #: truthy return fails the write with StorageError. None in
+        #: production.
+        self.fault_hook: Optional[Callable[[str, str, int], bool]] = None
+        self.write_faults = 0
 
     # ------------------------------------------------------------------
     def _schedule(self, nbytes: int, op: StorageOp,
@@ -99,6 +105,16 @@ class SimStore:
         if new_used > self.capacity_bytes:
             raise StorageError(
                 f"device {self.name!r} full: {new_used} > {self.capacity_bytes}"
+            )
+        hook = self.fault_hook
+        if hook is not None and hook("write", key, len(blob)):
+            # Fail at issue, before any state mutates: the previous object
+            # under ``key`` (if any) stays intact, like a failed O_TMPFILE
+            # rename. Callers retry or fall back to the prior checkpoint.
+            self.write_faults += 1
+            raise StorageError(
+                f"injected write failure on device {self.name!r} "
+                f"key {key!r} ({len(blob)} bytes)"
             )
         self.writes += 1
         # Contents become visible at issue (page-cache semantics; the

@@ -25,6 +25,27 @@ from repro.util.errors import CommError, ConfigError
 
 Sink = Callable[[int, Any, float], None]  # (src_rank, payload, time) -> None
 
+#: Fault verdict for one transmit: ``None`` (healthy), ``("drop",)``,
+#: ``("corrupt",)``, or ``("delay", extra_seconds)``.
+FaultHook = Callable[[int, int, int, Any], Optional[tuple]]
+
+
+class CorruptedPayload:
+    """Wrapper marking a payload corrupted in flight.
+
+    Delivered in place of the original so receivers model a checksum
+    failure: :class:`~repro.net.mux.FabricMux` discards it (sender-side
+    retransmission recovers); raw sinks may inspect ``original``.
+    """
+
+    __slots__ = ("original",)
+
+    def __init__(self, original: Any):
+        self.original = original
+
+    def __repr__(self) -> str:
+        return f"CorruptedPayload({self.original!r})"
+
 
 class SimFabric:
     """Cluster-wide message transport in virtual time."""
@@ -36,6 +57,7 @@ class SimFabric:
         network: NetworkModel,
         ranks_per_node: int = 1,
         topology: Optional[Topology] = None,
+        max_message_bytes: Optional[int] = None,
     ):
         if nranks < 1:
             raise ConfigError(f"nranks must be >= 1, got {nranks}")
@@ -57,6 +79,21 @@ class SimFabric:
         self._pair_last: Dict[int, float] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+        if max_message_bytes is not None and max_message_bytes < 1:
+            raise ConfigError(
+                f"max_message_bytes must be >= 1, got {max_message_bytes}")
+        #: Optional MTU-style payload ceiling; oversized sends raise CommError.
+        self.max_message_bytes = max_message_bytes
+        #: Optional fault-injection hook (``repro.resilience``): called per
+        #: transmit, returns a verdict tuple or None. One attribute load +
+        #: None test per message is the entire no-fault cost.
+        self.fault_hook: Optional[FaultHook] = None
+        #: Verdict applied to the most recent transmit (None = delivered
+        #: clean). Senders with retry policies read this synchronously.
+        self.last_fault: Optional[tuple] = None
+        self.messages_dropped = 0
+        self.messages_corrupted = 0
+        self.messages_delayed = 0
 
     # ------------------------------------------------------------------
     def node_of(self, rank: int) -> int:
@@ -96,6 +133,13 @@ class SimFabric:
         self._check_rank(dst)
         if nbytes < 0:
             raise CommError(f"negative message size {nbytes}")
+        if self.max_message_bytes is not None and nbytes > self.max_message_bytes:
+            raise CommError(
+                f"message of {nbytes} bytes exceeds fabric limit of "
+                f"{self.max_message_bytes} bytes (fragment it)")
+        hook = self.fault_hook
+        verdict = hook(src, dst, nbytes, payload) if hook is not None else None
+        self.last_fault = verdict
         net = self.network
         t = self.executor.now()
         s_node, d_node = src // self.ranks_per_node, dst // self.ranks_per_node
@@ -117,14 +161,38 @@ class SimFabric:
             self._rx_avail[d_node] = rx_start + ser
             delivery = rx_start + ser
 
+        kind = verdict[0] if verdict is not None else None
+        if kind == "delay":
+            # Extra in-flight latency, applied before the FIFO clamp so later
+            # messages on the pair cannot overtake the delayed one.
+            delivery += verdict[1]
+            self.messages_delayed += 1
+
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+
+        sink = self._sinks.get(dst)
+        if sink is None:
+            raise CommError(
+                f"rank {dst} has no registered message sink; was its "
+                "communication backend initialized?"
+            )
+
+        if on_injected is not None:
+            self.executor.call_at(inject_done, lambda: on_injected(inject_done))
+
+        if kind == "drop":
+            # Lost in flight: injection completed (the source buffer is
+            # reusable) but nothing arrives and the pairwise-FIFO clamp does
+            # not advance — later messages legitimately overtake a lost one.
+            self.messages_dropped += 1
+            return inject_done
+
         # Pairwise FIFO: never deliver before an earlier message on the pair.
         key = src * self.nranks + dst
         prev = self._pair_last.get(key, 0.0)
         delivery = max(delivery, prev)
         self._pair_last[key] = delivery
-
-        self.messages_sent += 1
-        self.bytes_sent += nbytes
 
         tracer = self.executor.tracer
         if tracer is not None:
@@ -138,14 +206,9 @@ class SimFabric:
             )
             tracer.record_message(src, dst, channel, nbytes, t, delivery)
 
-        if on_injected is not None:
-            self.executor.call_at(inject_done, lambda: on_injected(inject_done))
-        sink = self._sinks.get(dst)
-        if sink is None:
-            raise CommError(
-                f"rank {dst} has no registered message sink; was its "
-                "communication backend initialized?"
-            )
+        if kind == "corrupt":
+            self.messages_corrupted += 1
+            payload = CorruptedPayload(payload)
         self.executor.call_at(delivery, lambda: sink(src, payload, delivery))
         return inject_done
 

@@ -9,9 +9,9 @@ handler at delivery time.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
-from repro.net.fabric import SimFabric
+from repro.net.fabric import CorruptedPayload, SimFabric
 from repro.util.errors import CommError
 
 ChannelHandler = Callable[[int, Any, float], None]  # (src, payload, time)
@@ -32,6 +32,9 @@ class FabricMux:
         self.rank = rank
         self.stats = stats
         self._handlers: Dict[str, ChannelHandler] = {}
+        #: channel -> RetryPolicy; dropped/corrupted sends on these channels
+        #: are retransmitted with backoff instead of silently vanishing.
+        self._retry: Dict[str, Any] = {}
         fabric.register_sink(rank, self._dispatch)
 
     def register_channel(self, name: str, handler: ChannelHandler) -> None:
@@ -40,6 +43,25 @@ class FabricMux:
                 f"channel {name!r} already registered on rank {self.rank}"
             )
         self._handlers[name] = handler
+
+    def channels(self) -> List[str]:
+        """Registered channel names (registration order)."""
+        return list(self._handlers)
+
+    def set_retry_policy(self, channel: str, policy) -> None:
+        """Retransmit dropped/corrupted messages on ``channel`` per
+        ``policy`` (a :class:`repro.resilience.RetryPolicy`). The fabric
+        reports a fault verdict synchronously at send time
+        (:attr:`SimFabric.last_fault`), so retransmission is deterministic
+        and requires no acknowledgement protocol. Retransmits relax the
+        pairwise-FIFO guarantee for the retried message (as on real
+        networks); see ``docs/resilience.md`` for the ordering caveats."""
+        if channel not in self._handlers:
+            raise CommError(
+                f"cannot set a retry policy on unregistered channel "
+                f"{channel!r} (rank {self.rank})"
+            )
+        self._retry[channel] = policy
 
     def transmit(
         self,
@@ -60,11 +82,42 @@ class FabricMux:
             self.stats.count(channel, "msgs_sent")
             self.stats.count(channel, "bytes_sent", nbytes)
             self.stats.observe(channel, "msg_size", nbytes)
-        return self.fabric.transmit(
-            self.rank, dst, nbytes, (channel, payload), on_injected=on_injected
-        )
+        return self._transmit_attempt(dst, channel, payload, nbytes,
+                                      on_injected, 0)
+
+    def _transmit_attempt(
+        self, dst: int, channel: str, payload: Any, nbytes: int,
+        on_injected: Optional[Callable[[float], None]], attempt: int,
+    ) -> float:
+        fab = self.fabric
+        # on_injected fires on the first attempt only: injection-complete
+        # means "source buffer reusable", which stays true across retransmits.
+        inject = fab.transmit(self.rank, dst, nbytes, (channel, payload),
+                              on_injected=on_injected if attempt == 0 else None)
+        verdict = fab.last_fault
+        if verdict is not None and verdict[0] in ("drop", "corrupt"):
+            policy = self._retry.get(channel)
+            if policy is not None:
+                if attempt + 1 < policy.max_attempts:
+                    if self.stats is not None:
+                        self.stats.count(channel, "retries")
+                    fab.executor.call_later(
+                        policy.backoff.delay(attempt),
+                        lambda: self._transmit_attempt(
+                            dst, channel, payload, nbytes, None, attempt + 1),
+                    )
+                elif self.stats is not None:
+                    self.stats.count(channel, "retries_exhausted")
+        return inject
 
     def _dispatch(self, src: int, wrapped: Any, time: float) -> None:
+        if type(wrapped) is CorruptedPayload:
+            # Models a receiver-side checksum failure: the message is
+            # discarded; sender-side retransmission (set_retry_policy) is
+            # what recovers it.
+            if self.stats is not None:
+                self.stats.count("net", "msgs_corrupt_discarded")
+            return
         channel, payload = wrapped
         handler = self._handlers.get(channel)
         if handler is None:

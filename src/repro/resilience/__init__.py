@@ -1,0 +1,36 @@
+"""Resilience subsystem: failure as a schedulable, deterministic event.
+
+Three layers (see ``docs/resilience.md``):
+
+- **injection** (:mod:`repro.resilience.faults`): a seeded
+  :class:`FaultPlan` drives worker/place outages, message drop/corruption/
+  delay, storage write failures, and task-body exceptions — all in virtual
+  time, bit-for-bit reproducible;
+- **policy** (:mod:`repro.resilience.policy`): :func:`async_retry` /
+  :func:`with_timeout` / :class:`Backoff` over the promise machinery, plus
+  :class:`RetryPolicy` for per-channel message retransmission;
+- **recovery**: ``SimExecutor.fail_place``/``fail_worker`` replay idempotent
+  tasks on surviving resources, and :class:`~repro.io.module.CheckpointModule`
+  restores application state (catch :class:`~repro.util.errors.PlaceFailure`
+  inside an ``async_retry`` body).
+"""
+
+from repro.resilience.faults import (FaultInjector, FaultPlan, FaultRule,
+                                     PRESETS)
+from repro.resilience.policy import (Backoff, RetryPolicy, async_retry,
+                                     with_timeout)
+from repro.util.errors import FaultError, PlaceFailure, TimeoutExpired
+
+__all__ = [
+    "Backoff",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "PRESETS",
+    "PlaceFailure",
+    "RetryPolicy",
+    "TimeoutExpired",
+    "async_retry",
+    "with_timeout",
+]

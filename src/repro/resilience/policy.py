@@ -1,0 +1,205 @@
+"""Retry/timeout policies over the promise machinery.
+
+Failure handling composes from three small pieces:
+
+- :class:`Backoff` — deterministic exponential backoff with seeded jitter
+  (every delay is derived from a :class:`~repro.util.rng.RngFactory`
+  substream, so retry schedules replay bit-for-bit);
+- :func:`with_timeout` — race a future against an executor timer; exactly
+  one of value/:class:`~repro.util.errors.TimeoutExpired` wins;
+- :func:`async_retry` — respawn a task body on failure, spaced by a
+  backoff, while holding the caller's finish scope open so enclosing joins
+  keep accounting for the retried work.
+
+:class:`RetryPolicy` bundles attempts + backoff for per-channel message
+retransmission in :class:`~repro.net.mux.FabricMux` (a dropped or corrupted
+message becomes a retried one instead of a hang ending in ``DeadlockError``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional, Tuple, Type, Union
+
+from repro.runtime.context import require_context
+from repro.runtime.finish import FinishScope
+from repro.runtime.future import Future, Promise
+from repro.util.errors import ConfigError, HiperError, RuntimeStateError, TimeoutExpired
+from repro.util.rng import RngFactory
+
+__all__ = ["Backoff", "RetryPolicy", "with_timeout", "async_retry"]
+
+
+class Backoff:
+    """Exponential backoff with deterministic, seeded jitter.
+
+    ``delay(attempt)`` returns ``min(base * factor**attempt, max_delay)``
+    plus up to ``jitter`` of that as additive noise drawn from a seeded
+    stream — decorrelating retry storms without sacrificing replayability.
+    """
+
+    def __init__(self, base: float = 1e-4, factor: float = 2.0,
+                 max_delay: float = 0.1, jitter: float = 0.0, seed: int = 0):
+        if base < 0 or factor < 1.0 or max_delay < 0:
+            raise ConfigError(
+                f"invalid backoff (base={base}, factor={factor}, "
+                f"max_delay={max_delay}); need base/max >= 0, factor >= 1")
+        if not (0.0 <= jitter <= 1.0):
+            raise ConfigError(f"jitter must be in [0, 1], got {jitter}")
+        self.base = float(base)
+        self.factor = float(factor)
+        self.max_delay = float(max_delay)
+        self.jitter = float(jitter)
+        self.seed = seed
+        self._rng = RngFactory(seed).stream("resilience", "backoff")
+
+    def delay(self, attempt: int) -> float:
+        if attempt < 0:
+            raise ConfigError(f"attempt must be non-negative, got {attempt}")
+        d = min(self.base * self.factor ** attempt, self.max_delay)
+        if self.jitter:
+            d += d * self.jitter * float(self._rng.random())
+        return d
+
+    def __repr__(self) -> str:
+        return (f"Backoff(base={self.base}, factor={self.factor}, "
+                f"max={self.max_delay}, jitter={self.jitter})")
+
+
+class RetryPolicy:
+    """How many times to retry an operation, and how to space the attempts."""
+
+    __slots__ = ("max_attempts", "backoff")
+
+    def __init__(self, max_attempts: int = 3, backoff: Optional[Backoff] = None):
+        if max_attempts < 1:
+            raise ConfigError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.max_attempts = max_attempts
+        self.backoff = backoff if backoff is not None else Backoff()
+
+    def __repr__(self) -> str:
+        return f"RetryPolicy(attempts={self.max_attempts}, {self.backoff!r})"
+
+
+def with_timeout(future: Future, timeout: float, *,
+                 name: str = "timeout") -> Future:
+    """A future carrying ``future``'s outcome, or :class:`TimeoutExpired` if
+    ``timeout`` (virtual or wall) seconds elapse first.
+
+    The deadline is armed via the executor's ``call_later``, so under the
+    simulated engine the race is deterministic. Exactly one side wins; the
+    loser's arrival is ignored (the underlying operation is not cancelled —
+    it merely loses its audience, like an abandoned MPI request).
+    """
+    if timeout < 0:
+        raise ConfigError(f"timeout must be non-negative, got {timeout}")
+    ctx = require_context()
+    out = Promise(name=name)
+    won = [False]
+    lock = threading.Lock()
+
+    def _claim() -> bool:
+        with lock:
+            if won[0]:
+                return False
+            won[0] = True
+            return True
+
+    def _settle(f: Future) -> None:
+        if not _claim():
+            return
+        try:
+            out.put(f.value())
+        except BaseException as exc:  # noqa: BLE001
+            out.put_exception(exc)
+
+    def _expire() -> None:
+        if not _claim():
+            return
+        out.put_exception(TimeoutExpired(
+            f"{future.name or 'future'} did not complete within {timeout}s",
+            timeout=timeout))
+
+    future.on_ready(_settle)
+    ctx.executor.call_later(timeout, _expire)
+    return out.get_future()
+
+
+def async_retry(
+    body: Callable[[], Any],
+    *,
+    attempts: int = 3,
+    backoff: Optional[Backoff] = None,
+    retry_on: Union[Type[BaseException], Tuple[Type[BaseException], ...]] = HiperError,
+    name: str = "retry",
+    scope: Optional[FinishScope] = None,
+    place: Optional[Any] = None,
+) -> Future:
+    """Spawn ``body`` as a task; respawn it (up to ``attempts`` total) when it
+    fails with an exception matching ``retry_on``, spacing attempts by
+    ``backoff``. Returns a future of the first successful return value — or
+    of the last failure once attempts are exhausted.
+
+    ``body`` must be safe to re-invoke (idempotent or self-recovering, e.g.
+    restore-from-checkpoint-then-redo). The caller's finish scope is held
+    open across backoff gaps, so an enclosing ``finish`` correctly waits for
+    retried work even while no attempt task exists. ``place`` pins attempts
+    to a place; if that place fails, later attempts are redirected to the
+    runtime's fallback automatically.
+    """
+    if attempts < 1:
+        raise ConfigError(f"attempts must be >= 1, got {attempts}")
+    ctx = require_context()
+    rt = ctx.runtime
+    if rt is None:
+        raise RuntimeStateError("async_retry requires a runtime context")
+    if scope is None:
+        scope = ctx.task.active_scope if ctx.task is not None else None
+        if scope is None:
+            raise RuntimeStateError(
+                "async_retry outside a task requires an explicit scope=")
+    bo = backoff if backoff is not None else Backoff()
+    out = Promise(name=f"{name}-done")
+    t_first = ctx.executor.now()
+    scope.task_spawned()  # held until the retry loop resolves
+
+    def _resolve(value: Any = None, exc: Optional[BaseException] = None) -> None:
+        if exc is not None:
+            out.put_exception(exc)
+        else:
+            out.put(value)
+        scope.task_completed(None)
+
+    def _attempt(i: int) -> None:
+        # ``place`` is a preference, not an anchor: if it has failed, the
+        # runtime's redirect machinery re-places the fresh attempt on the
+        # fallback — which is exactly how a retry escapes a dead place.
+        fut = rt.spawn(body, scope=scope, return_future=True,
+                       place=place, name=f"{name}#{i}")
+        assert fut is not None
+
+        def _done(f: Future) -> None:
+            try:
+                value = f.value()
+                if i > 0:
+                    # Recovered after >= 1 failure: time from the first
+                    # attempt's spawn to the successful completion.
+                    now = rt.executor.now()
+                    rt.stats.sample("resilience/time_to_recovery", now,
+                                    now - t_first)
+                _resolve(value=value)
+                return
+            except retry_on as exc:
+                if i + 1 < attempts:
+                    rt.stats.count("resilience", "retries")
+                    rt.executor.call_later(bo.delay(i), lambda: _attempt(i + 1))
+                else:
+                    rt.stats.count("resilience", "retries_exhausted")
+                    _resolve(exc=exc)
+            except BaseException as exc:  # noqa: BLE001 - non-retryable
+                _resolve(exc=exc)
+
+        fut.on_ready(_done)
+
+    _attempt(0)
+    return out.get_future()

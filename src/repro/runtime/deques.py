@@ -121,6 +121,22 @@ class WorkerDeque:
                         pd.mask &= ~self._bit
             return task
 
+    def drain(self) -> List["Task"]:
+        """Remove and return every task (oldest first), fixing the occupancy
+        index. Resilience path: evacuating a failed place/worker slot."""
+        with self._lock:
+            items = self._items
+            if not items:
+                return []
+            out = list(items)
+            items.clear()
+            pd = self._place
+            if pd is not None:
+                with pd.index_lock:
+                    pd.ready -= len(out)
+                    pd.mask &= ~self._bit
+            return out
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._items)
@@ -170,6 +186,18 @@ class UnsyncWorkerDeque(WorkerDeque):
             if not items:
                 pd.mask &= ~self._bit
         return task
+
+    def drain(self) -> List["Task"]:
+        items = self._items
+        if not items:
+            return []
+        out = list(items)
+        items.clear()
+        pd = self._place
+        if pd is not None:
+            pd.ready -= len(out)
+            pd.mask &= ~self._bit
+        return out
 
     def __len__(self) -> int:
         return len(self._items)
@@ -234,6 +262,13 @@ class PlaceDeques:
     def total(self) -> int:
         """Ready tasks at this place — O(1) occupancy-counter read."""
         return self.ready
+
+    def drain(self) -> List["Task"]:
+        """Evacuate every slot (slot order, oldest first within a slot)."""
+        out: List["Task"] = []
+        for slot in self.slots:
+            out.extend(slot.drain())
+        return out
 
 
 class DequeTable:

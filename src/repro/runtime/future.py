@@ -191,8 +191,9 @@ def satisfied_future(value: Any = None, name: str = "") -> Future:
 def when_all(futures: Sequence[Future], name: str = "when_all") -> Future:
     """A future satisfied when *all* inputs are, with the list of values.
 
-    If any input carries an exception, the first (in input order, among those
-    satisfied) is propagated.
+    Fails fast: the first input to carry an exception (in completion order)
+    fails the combined future immediately, exactly once — without it, one
+    failed input plus one never-satisfied input would deadlock every waiter.
     """
     futures = list(futures)
     out = Promise(name)
@@ -200,17 +201,27 @@ def when_all(futures: Sequence[Future], name: str = "when_all") -> Future:
         out.put([])
         return out.get_future()
     remaining = [len(futures)]
+    fired = [False]
     lock = threading.Lock()
 
-    def _one_done(_f: Future) -> None:
+    def _one_done(f: Future) -> None:
+        exc = f._promise._exception
         with lock:
+            if fired[0]:
+                return
             remaining[0] -= 1
-            fire = remaining[0] == 0
-        if fire:
-            try:
-                out.put([f.value() for f in futures])
-            except BaseException as exc:  # propagate first failure
-                out.put_exception(exc)
+            fire = exc is not None or remaining[0] == 0
+            if fire:
+                fired[0] = True
+        if not fire:
+            return
+        if exc is not None:
+            out.put_exception(exc)
+            return
+        try:
+            out.put([g.value() for g in futures])
+        except BaseException as e:  # pragma: no cover - inputs all clean here
+            out.put_exception(e)
 
     for f in futures:
         f.on_ready(_one_done)

@@ -21,7 +21,8 @@ from repro.runtime.finish import FinishScope
 from repro.runtime.future import Future, Promise
 from repro.runtime.task import Task, TaskState
 from repro.runtime.worker import WorkerState
-from repro.util.errors import ConfigError, ModuleError, RuntimeStateError
+from repro.util.errors import (ConfigError, ModuleError, PlaceFailure,
+                               RuntimeStateError)
 from repro.util.rng import RngFactory
 from repro.util.stats import RuntimeStats, StatsConfig
 
@@ -90,6 +91,11 @@ class HiperRuntime:
         self._started = False
         self._shutdown = False
         self._daemon_scope: Optional[FinishScope] = None
+        # Resilience redirect tables — empty in healthy runs; _enqueue pays
+        # one flag test until a failure is injected (repro.resilience).
+        self._redirects_active = False
+        self._dead_places: Dict[int, Place] = {}   # place_id -> fallback
+        self._worker_redirect: Dict[int, int] = {}  # dead wid -> live wid
 
         executor.register_runtime(self)
 
@@ -262,6 +268,8 @@ class HiperRuntime:
         return promise.get_future() if promise else None
 
     def _enqueue(self, task: Task) -> None:
+        if self._redirects_active and not self._redirect(task):
+            return  # task was killed instead of enqueued
         task.state = TaskState.READY
         task.release_time = self.executor.now()
         newly_occupied = self.deques.push(task)
@@ -274,6 +282,51 @@ class HiperRuntime:
     def reenqueue(self, task: Task) -> None:
         """Put a resumed/yielded task back on its deque (continuations)."""
         self._enqueue(task)
+
+    # ------------------------------------------------------------------
+    # failure redirection (repro.resilience; see SimExecutor.fail_place)
+    # ------------------------------------------------------------------
+    def _redirect(self, task: Task) -> bool:
+        """Reroute a task away from failed places/worker slots.
+
+        Returns False when the task was killed instead: a partially-executed
+        coroutine resuming onto a dead place lost its affine state with the
+        place, so it fails with :class:`PlaceFailure` rather than silently
+        migrating. Never-started tasks are safe to re-place and are simply
+        redirected.
+        """
+        if task.place is not None:
+            fb = self._dead_places.get(task.place.place_id)
+            if fb is not None:
+                if task.gen is not None:
+                    self.stats.count("resilience", "tasks_killed")
+                    self.executor._fail(self, task, PlaceFailure(
+                        f"place {task.place.name!r} on rank {self.rank} "
+                        f"failed while task {task.name!r} was suspended",
+                        place=task.place.name))
+                    return False
+                task.place = fb
+        nw = self._worker_redirect.get(task.created_by)
+        if nw is not None:
+            task.created_by = nw
+        return True
+
+    def mark_place_failed(self, place: Place, fallback: Place) -> None:
+        """Redirect all future enqueues for ``place`` to ``fallback``."""
+        self._dead_places[place.place_id] = fallback
+        # Re-point earlier failures that were falling back onto this place.
+        for pid, fb in list(self._dead_places.items()):
+            if fb is place:
+                self._dead_places[pid] = fallback
+        self._redirects_active = True
+
+    def mark_worker_failed(self, wid: int, target: int) -> None:
+        """Credit future pushes into dead slot ``wid`` to worker ``target``."""
+        self._worker_redirect[wid] = target
+        for k, v in list(self._worker_redirect.items()):
+            if v == wid:
+                self._worker_redirect[k] = target
+        self._redirects_active = True
 
     def _poll_scope(self) -> FinishScope:
         """The daemon scope for module polling tasks (paper §II-C1 step 3).

@@ -66,6 +66,7 @@ class Task:
         "task_id", "fn", "args", "kwargs", "_name", "module", "place",
         "created_by", "scope", "cost", "result_promise", "state", "gen",
         "_send_value", "_send_exc", "release_time", "rank", "active_scope",
+        "attempts", "epilogue",
     )
 
     def __init__(
@@ -107,6 +108,12 @@ class Task:
         #: and ``begin_finish``/``end_finish`` push/pop it. Spawns performed
         #: by this task register with this scope.
         self.active_scope = scope
+        #: Execution attempts so far; > 0 marks a task replayed after a
+        #: place/worker failure (resilience subsystem).
+        self.attempts = 0
+        #: Optional ``(task, exc_or_None)`` callback invoked after the scope
+        #: is discharged — resilience telemetry, never failure routing.
+        self.epilogue = None
 
     @property
     def name(self) -> str:

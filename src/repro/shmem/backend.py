@@ -88,6 +88,13 @@ class ShmemBackend:
         if self.stats is not None:
             self.stats.count(_CHANNEL, op, n)
 
+    def enable_retries(self, policy) -> None:
+        """Retransmit dropped/corrupted SHMEM messages per ``policy`` (a
+        :class:`repro.resilience.RetryPolicy`). Safe under quiet/fence
+        epochs: ``_outstanding`` only drains when a remote completion
+        arrives, so a retried put still completes before quiet returns."""
+        self.mux.set_retry_policy(_CHANNEL, policy)
+
     # ------------------------------------------------------------------
     # puts
     # ------------------------------------------------------------------

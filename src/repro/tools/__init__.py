@@ -3,11 +3,13 @@ module time attribution, Chrome-trace export, and the profiling harness."""
 
 from repro.tools.profile import (ProfileReport, TelemetryModule,
                                  profile_spmd, telemetry_factory)
-from repro.tools.trace import (CounterSample, MessageEvent, SpawnEvent,
-                               TraceEvent, TraceRecorder, merge_intervals)
+from repro.tools.trace import (CounterSample, InstantEvent, MessageEvent,
+                               SpawnEvent, TraceEvent, TraceRecorder,
+                               merge_intervals)
 
 __all__ = [
     "CounterSample",
+    "InstantEvent",
     "MessageEvent",
     "ProfileReport",
     "SpawnEvent",

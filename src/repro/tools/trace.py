@@ -75,6 +75,16 @@ class CounterSample:
     value: float
 
 
+@dataclasses.dataclass(frozen=True)
+class InstantEvent:
+    """A zero-duration marker (injected fault, recovery milestone, ...)."""
+
+    rank: int
+    name: str
+    time: float
+    detail: str = ""
+
+
 def merge_intervals(intervals: List[Tuple[float, float]]) -> float:
     """Total length of the union of ``(start, end)`` intervals."""
     if not intervals:
@@ -100,6 +110,7 @@ class TraceRecorder:
         self.spawns: List[SpawnEvent] = []
         self.messages: List[MessageEvent] = []
         self.counters: List[CounterSample] = []
+        self.instants: List[InstantEvent] = []
         self.dropped = 0
 
     # called by the executor around every task segment
@@ -131,6 +142,14 @@ class TraceRecorder:
             MessageEvent(src_rank, dst_rank, channel, nbytes, send_time,
                          delivery_time)
         )
+
+    # called by the resilience injector (fault/recovery markers)
+    def record_instant(self, rank: int, name: str, time: float,
+                       detail: str = "") -> None:
+        if len(self.instants) >= self.max_events:
+            self.dropped += 1
+            return
+        self.instants.append(InstantEvent(rank, name, time, detail))
 
     # called by the telemetry sampler (counter tracks)
     def record_counter(self, rank: int, name: str, time: float,
@@ -268,6 +287,12 @@ class TraceRecorder:
                 "name": cs.name, "cat": "telemetry", "ph": "C",
                 "ts": cs.time * 1e6, "pid": cs.rank,
                 "args": {cs.name: cs.value},
+            })
+        for ins in self.instants:
+            rows.append({
+                "name": ins.name, "cat": "fault", "ph": "i", "s": "g",
+                "ts": ins.time * 1e6, "pid": ins.rank, "tid": 0,
+                "args": {"detail": ins.detail},
             })
         return json.dumps({"traceEvents": rows, "displayTimeUnit": "ms"})
 

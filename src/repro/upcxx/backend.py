@@ -73,6 +73,12 @@ class UpcxxBackend:
         self.rpcs = 0
         mux.register_channel(_CHANNEL, self._on_delivery)
 
+    def enable_retries(self, policy) -> None:
+        """Retransmit dropped/corrupted UPC++ messages per ``policy`` (a
+        :class:`repro.resilience.RetryPolicy`); rput/rget/rpc futures then
+        complete on the retried delivery instead of hanging."""
+        self.mux.set_retry_policy(_CHANNEL, policy)
+
     # ------------------------------------------------------------------
     # shared objects
     # ------------------------------------------------------------------

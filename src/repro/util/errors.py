@@ -57,6 +57,36 @@ class DeadlockError(HiperError):
         super().__init__(message)
 
 
+class FaultError(HiperError):
+    """An injected fault fired (resilience testing).
+
+    Raised inside a task body when a :class:`repro.resilience.FaultPlan`
+    rule targets it; distinct from organic failures so retry policies can
+    be scoped to injected faults in tests.
+    """
+
+
+class PlaceFailure(HiperError):
+    """A task was lost because its place failed mid-run.
+
+    Only partially-executed (coroutine) tasks receive this: never-started
+    tasks are replayed on a surviving place instead (they are idempotent by
+    construction — their body has not observed any state yet).
+    """
+
+    def __init__(self, message: str, place: Optional[str] = None):
+        self.place = place
+        super().__init__(message)
+
+
+class TimeoutExpired(HiperError):
+    """A ``with_timeout`` deadline elapsed before the wrapped future fired."""
+
+    def __init__(self, message: str, timeout: float = 0.0):
+        self.timeout = timeout
+        super().__init__(message)
+
+
 class GpuError(HiperError):
     """Simulated CUDA device misuse (bad handle, exhausted memory, ...)."""
 

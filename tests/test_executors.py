@@ -1,6 +1,7 @@
 """Executor internals: event ordering, clock semantics, deadlock reporting,
 context management, threaded watchdog and timers, harness utilities."""
 
+import threading
 import time
 
 import pytest
@@ -19,6 +20,7 @@ from repro.runtime.context import (
     require_context,
     scoped_context,
 )
+from repro.runtime.finish import FinishScope
 from repro.runtime.future import Promise
 from repro.runtime.runtime import HiperRuntime
 from repro.util.errors import ConfigError, DeadlockError, RuntimeStateError
@@ -294,3 +296,43 @@ class TestInversionDiagnostic:
                               machine=machine("titan")),
                 module_factories=[shmem_factory()],
             )
+
+
+class TestThreadedShutdownLeakDetection:
+    """ISSUE 'resilience' satellite (a): shutdown must detect worker threads
+    that survive the stop signal and raise instead of leaking them."""
+
+    def _rt(self, join_timeout):
+        ex = ThreadedExecutor(block_timeout=20.0, join_timeout=join_timeout)
+        model = discover(machine("workstation"), num_workers=2,
+                         with_interconnect=False)
+        return ex, HiperRuntime(model, ex).start()
+
+    def test_clean_shutdown_raises_nothing(self):
+        ex, rt = self._rt(join_timeout=5.0)
+        rt.run(lambda: async_future(lambda: 7).get())
+        rt.shutdown()
+        ex.shutdown()
+
+    def test_stuck_task_body_is_reported(self):
+        ex, rt = self._rt(join_timeout=0.2)
+        release = threading.Event()
+        scope = FinishScope(name="detached", lock_cls=ex.lock_class)
+
+        def stuck():
+            release.wait(timeout=10.0)  # ignores the stop signal
+
+        def main():
+            # Detached scope: root completes while the body still blocks.
+            rt.spawn(stuck, scope=scope)
+            return "root-done"
+
+        assert rt.run(main) == "root-done"
+        time.sleep(0.1)  # let a worker actually enter the stuck body
+        with pytest.raises(RuntimeStateError, match="leaked.*thread"):
+            ex.shutdown()
+        release.set()  # unblock the daemon thread before the test exits
+
+    def test_invalid_join_timeout(self):
+        with pytest.raises(ConfigError):
+            ThreadedExecutor(join_timeout=0)

@@ -157,3 +157,62 @@ class TestWaitInTasks:
     def test_done_time_before_satisfaction_raises(self):
         with pytest.raises(PromiseError):
             Promise().get_future().done_time()
+
+
+class TestCombinatorExceptionPropagation:
+    """Regression tests for the audit of ISSUE 'resilience' satellite (b):
+    one put_exception must fail a combined future exactly once — never
+    deadlock it, never double-fire it."""
+
+    def test_when_all_fails_fast_without_waiting_for_stragglers(self):
+        # Before the fail-fast rewrite this deadlocked: one failed input +
+        # one never-satisfied input left the combined future pending forever.
+        failed, never = Promise(), Promise()
+        combined = when_all([failed.get_future(), never.get_future()])
+        failed.put_exception(KeyError("early"))
+        assert combined.satisfied
+        with pytest.raises(KeyError, match="early"):
+            combined.value()
+
+    def test_when_all_fail_fast_in_task_context(self, sim_rt):
+        def main():
+            failed, never = Promise(), Promise()
+            combined = when_all([failed.get_future(), never.get_future()])
+            sim_rt.executor.call_later(
+                1e-5, lambda: failed.put_exception(ValueError("down")))
+            with pytest.raises(ValueError, match="down"):
+                combined.get()  # must not raise DeadlockError
+            return True
+
+        assert sim_rt.run(main)
+
+    def test_when_all_single_failure_fires_exactly_once(self):
+        ps = [Promise() for _ in range(3)]
+        combined = when_all([p.get_future() for p in ps])
+        fires = []
+        combined.on_ready(lambda f: fires.append(f))
+        ps[1].put_exception(RuntimeError("one"))
+        # Late arrivals — clean or failed — must not re-fire the output.
+        ps[0].put(1)
+        ps[2].put_exception(RuntimeError("two"))
+        assert len(fires) == 1
+        with pytest.raises(RuntimeError, match="one"):
+            combined.value()
+
+    def test_when_all_still_collects_clean_values(self):
+        ps = [Promise() for _ in range(2)]
+        combined = when_all([p.get_future() for p in ps])
+        ps[0].put("a")
+        ps[1].put("b")
+        assert combined.value() == ["a", "b"]
+
+    def test_when_any_failed_winner_fires_exactly_once(self):
+        ps = [Promise(), Promise()]
+        combined = when_any([p.get_future() for p in ps])
+        fires = []
+        combined.on_ready(lambda f: fires.append(f))
+        ps[0].put_exception(OSError("winner failed"))
+        ps[1].put("loser")  # must be ignored
+        assert len(fires) == 1
+        with pytest.raises(OSError, match="winner failed"):
+            combined.value()

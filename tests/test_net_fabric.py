@@ -168,3 +168,51 @@ class TestMux:
         m0.register_channel("a", lambda s, p, t: None)
         with pytest.raises(CommError, match="already"):
             m0.register_channel("a", lambda s, p, t: None)
+
+
+class TestFabricFaultErrorPaths:
+    """ISSUE 'resilience' satellite (d): fabric/mux error paths."""
+
+    def test_oversized_payload_rejected(self):
+        ex = SimExecutor()
+        fab = SimFabric(ex, 2, NetworkModel(), max_message_bytes=512)
+        fab.register_sink(1, lambda s, p, t: None)
+        fab.transmit(0, 1, 512, "at-the-limit")
+        with pytest.raises(CommError, match="exceeds fabric limit"):
+            fab.transmit(0, 1, 513, "over")
+
+    def test_no_limit_by_default(self):
+        ex, fab = make_fabric()
+        fab.register_sink(1, lambda s, p, t: None)
+        fab.transmit(0, 1, 1 << 30, "huge")  # unlimited unless configured
+
+    def test_invalid_limit_rejected(self):
+        ex = SimExecutor()
+        with pytest.raises(ConfigError, match="max_message_bytes"):
+            SimFabric(ex, 2, NetworkModel(), max_message_bytes=0)
+
+    def test_receive_on_unregistered_channel_raises(self):
+        ex, fab = make_fabric(nranks=2)
+        m0 = FabricMux(fab, 0)
+        m1 = FabricMux(fab, 1)
+        m0.register_channel("only-on-sender", lambda s, p, t: None)
+        m0.transmit(1, "only-on-sender", "x", 8)
+        with pytest.raises(CommError, match="unregistered channel"):
+            ex.drain()
+
+    def test_retry_policy_requires_registered_channel(self):
+        ex, fab = make_fabric(nranks=2)
+        m0 = FabricMux(fab, 0)
+        with pytest.raises(CommError, match="unregistered"):
+            m0.set_retry_policy("nope", object())
+
+    def test_fault_hook_exception_propagates_to_sender(self):
+        ex, fab = make_fabric(nranks=2)
+        fab.register_sink(1, lambda s, p, t: None)
+
+        def broken_hook(src, dst, nbytes, payload):
+            raise RuntimeError("hook bug")
+
+        fab.fault_hook = broken_hook
+        with pytest.raises(RuntimeError, match="hook bug"):
+            fab.transmit(0, 1, 8, "x")
