@@ -365,6 +365,104 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    """Concurrency correctness harness (``repro.verify``): seeded schedule
+    exploration with race detection, a planted-race self-check, and the
+    sim↔threaded differential. Exit code is nonzero iff anything failed.
+    Failing interleavings are written as replayable JSON artifacts when
+    ``--out`` is given; any reported seed reproduces bit-for-bit via
+    ``repro verify --strategy <s> --seeds 1 --first-seed <seed>``."""
+    import os
+
+    from repro.tools.schedule import artifact_from_outcome, save_schedule
+    from repro.verify import (WORKLOADS, differential, replay_schedule,
+                              run_once)
+    from repro.verify.strategies import STRATEGIES
+
+    failures = 0
+    strategies = sorted(STRATEGIES) if args.strategy == "all" else [args.strategy]
+
+    def dump(outcome, tag):
+        if not args.out:
+            return
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, f"failing-schedule-{tag}.json")
+        save_schedule(artifact_from_outcome(
+            outcome, workers=args.workers, planted=args.planted), path)
+        print(f"    wrote {path}")
+
+    if args.replay:
+        from repro.tools.schedule import load_schedule
+
+        art = load_schedule(args.replay)
+        print(f"replaying {args.replay} (strategy={art.strategy} "
+              f"seed={art.seed}, {len(art.schedule)} steps)")
+        out = replay_schedule(art.schedule, workers=art.workers,
+                              planted=art.planted)
+        print(out.describe())
+        if out.digest != art.digest:
+            print(f"  digest drift: {out.digest[:16]} != {art.digest[:16]} "
+                  "(code changed since the artifact was recorded)")
+        return 0 if out.ok == (not art.races and not art.violations) else 1
+
+    t0 = time.time()
+    # 1. self-check: the planted race in the known-buggy fixture MUST be
+    #    rediscovered (detector ground truth).
+    if not args.skip_selfcheck:
+        found = None
+        for seed in range(args.selfcheck_seeds):
+            out = run_once("random", seed, workers=args.workers, planted=True)
+            if out.races:
+                found = out
+                break
+        if found is None:
+            failures += 1
+            print(f"  self-check   FAIL planted race not found in "
+                  f"{args.selfcheck_seeds} seeds")
+        else:
+            again = run_once("random", found.seed, workers=args.workers,
+                             planted=True)
+            bit = "bit-for-bit" if again.digest == found.digest else \
+                "DIGEST MISMATCH"
+            print(f"  self-check   OK   planted race found at seed "
+                  f"{found.seed}, replay {bit}")
+            if again.digest != found.digest:
+                failures += 1
+
+    # 2. schedule exploration on the production core.
+    for strat in strategies:
+        bad = None
+        for seed in range(args.first_seed, args.first_seed + args.seeds):
+            out = run_once(strat, seed, workers=args.workers,
+                           planted=args.planted)
+            if not out.ok:
+                bad = out
+                break
+        if bad is None:
+            print(f"  hunt:{strat:<7s} OK   {args.seeds} seeds clean")
+        else:
+            failures += 1
+            print(f"  hunt:{strat:<7s} FAIL seed {bad.seed} "
+                  f"(digest {bad.digest[:16]}):")
+            print("    " + bad.describe().replace("\n", "\n    "))
+            dump(bad, strat)
+
+    # 3. differential: same workload, different engines, same answer.
+    if not args.skip_differential:
+        for wl in sorted(WORKLOADS):
+            rep = differential(wl, engines=tuple(args.engines),
+                               workers=args.workers)
+            mark = "OK  " if rep.ok else "FAIL"
+            print(f"  diff:{wl:<9s}{mark} "
+                  f"{'/'.join(r.engine for r in rep.runs)}")
+            if not rep.ok:
+                failures += 1
+                print("    " + rep.describe().replace("\n", "\n    "))
+
+    print(f"({failures} failure(s), {time.time() - t0:.1f}s wall)")
+    return 1 if failures else 0
+
+
 def cmd_platform(args) -> int:
     from repro.platform import discover, machine
 
@@ -449,6 +547,34 @@ def build_parser() -> argparse.ArgumentParser:
                     help="directory for fault_log.json / metrics.json / "
                          "trace.json")
     ch.set_defaults(fn=cmd_chaos)
+
+    vf = sub.add_parser(
+        "verify",
+        help="concurrency harness: schedule exploration + race detection + "
+             "sim/threaded differential")
+    vf.add_argument("--strategy", default="all",
+                    choices=["random", "pct", "pbound", "all"],
+                    help="exploration strategy (default: all three)")
+    vf.add_argument("--seeds", type=int, default=25,
+                    help="seeds to sweep per strategy")
+    vf.add_argument("--first-seed", type=int, default=0,
+                    help="first seed of the sweep (reproduce a report with "
+                         "--seeds 1 --first-seed <seed>)")
+    vf.add_argument("--workers", type=int, default=4)
+    vf.add_argument("--planted", action="store_true",
+                    help="hunt on the known-buggy fixture (expected to FAIL)")
+    vf.add_argument("--engines", nargs="+", default=["sim", "threads"],
+                    choices=["sim", "threads", "interleave"],
+                    help="engines for the differential check")
+    vf.add_argument("--skip-differential", action="store_true")
+    vf.add_argument("--skip-selfcheck", action="store_true",
+                    help="skip the planted-race detector self-check")
+    vf.add_argument("--selfcheck-seeds", type=int, default=10)
+    vf.add_argument("--out", default=None,
+                    help="directory for failing-schedule JSON artifacts")
+    vf.add_argument("--replay", default=None, metavar="ARTIFACT",
+                    help="replay a saved failing-schedule artifact instead")
+    vf.set_defaults(fn=cmd_verify)
 
     pp = sub.add_parser("platform", help="print a machine's platform JSON")
     pp.add_argument("machine", choices=["edison", "titan", "workstation"])

@@ -116,8 +116,12 @@ class Executor(abc.ABC):
     ) -> None:
         """Block the *current task* until ``predicate()`` is true without
         idling its worker (help-until-ready). ``time_source``, if given,
-        reports the virtual timestamp at which the condition became true so
-        the simulated executor can advance the blocked worker's clock.
+        reports the timestamp at which the condition became true; engines
+        MUST advance the blocked worker's clock to it on return
+        (``worker.advance_clock_to(time_source())``), so blocked-time
+        accounting stays comparable across engines. On the simulated engine
+        the timestamp is virtual; on the threaded engine both the worker
+        clock and the timestamp are wall-seconds since executor start.
         """
 
     @abc.abstractmethod

@@ -469,7 +469,9 @@ class SimExecutor(Executor):
         """Enqueue ``fn`` as a root task under a fresh finish scope; return a
         future satisfied (with ``fn``'s value) once the whole scope quiesces.
         Does not drive the engine — SPMD launchers submit all ranks first."""
-        scope = FinishScope(name=f"{name}-scope", lock_cls=NullLock)
+        # self.lock_class, not a hard-coded NullLock: subclasses (the
+        # schedule-exploring verifier) plug in tracked locks here.
+        scope = FinishScope(name=f"{name}-scope", lock_cls=self.lock_class)
         inner = runtime.spawn(
             fn, scope=scope, return_future=True, name=name,
             place=runtime.workers[0].pop_path[0],

@@ -49,6 +49,11 @@ class ThreadedExecutor(Executor):
         self._cond = threading.Condition()
         self._stop = False
         self._started = False
+        self._shutdown = False
+        #: Monotonic count of executed task segments (any worker). The
+        #: watchdogs treat a change as proof of liveness, so a run that keeps
+        #: completing tasks never trips the deadline however long it takes.
+        self._progress = 0
         self._t0 = time.monotonic()
         # timer facility
         self._timers: List = []
@@ -65,6 +70,14 @@ class ThreadedExecutor(Executor):
         self._runtime = runtime
 
     def _ensure_started(self) -> None:
+        if self._shutdown:
+            # After shutdown() the worker threads are gone; without this
+            # check submit_root/call_later would enqueue work nobody can run
+            # and hang silently until the watchdog fired.
+            raise RuntimeStateError(
+                "ThreadedExecutor used after shutdown(); create a fresh "
+                "executor for a new run"
+            )
         if self._started:
             return
         with self._cond:
@@ -87,6 +100,7 @@ class ThreadedExecutor(Executor):
     def shutdown(self) -> None:
         with self._cond:
             self._stop = True
+            self._shutdown = True
             self._cond.notify_all()
         leaked: List[str] = []
         for th in self._threads:
@@ -182,12 +196,32 @@ class ThreadedExecutor(Executor):
                     fn()
 
     # ------------------------------------------------------------------
+    def on_task_start(self, worker, task) -> None:
+        # Starting a segment is progress too: in a nested help-until-ready
+        # chain (task A waits on B waits on C ...) nothing *completes* until
+        # the innermost body returns, but new segments keep starting — a
+        # completion-only signal would false-alarm on deep chains.
+        # GIL-atomic bump; watchdogs only care that the value *changes*, so a
+        # theoretical lost update merely delays one deadline extension.
+        self._progress += 1
+
+    def execute_task(self, runtime: HiperRuntime, worker, task) -> None:
+        super().execute_task(runtime, worker, task)
+        # Completion tick as well: a long-running body that just finished
+        # should restart the stall clock before the next quiet stretch.
+        self._progress += 1
+
     def block_until(
         self,
         predicate: Callable[[], bool],
         description: str = "",
         time_source: Optional[Callable[[], float]] = None,
     ) -> None:
+        # The watchdog measures *stall* time, not total blocking time: any
+        # task completion anywhere in the runtime extends the deadline, so a
+        # long but steadily progressing computation (e.g. a chain of slow
+        # tasks) never trips it — only a genuine lack of progress does.
+        mark = self._progress
         deadline = time.monotonic() + self.block_timeout
         ctx = current_context()
         worker = ctx.worker if ctx is not None else None
@@ -201,11 +235,23 @@ class ThreadedExecutor(Executor):
             with self._cond:
                 if not predicate():
                     self._cond.wait(timeout=_PARK_TIMEOUT)
-            if time.monotonic() > deadline:
+            now_m = time.monotonic()
+            seen = self._progress
+            if seen != mark:
+                mark = seen
+                deadline = now_m + self.block_timeout
+            elif now_m > deadline:
                 raise DeadlockError(
-                    f"blocked on {description or 'a condition'} for more than "
-                    f"{self.block_timeout}s (threaded watchdog)"
+                    f"blocked on {description or 'a condition'} with no task "
+                    f"progress for more than {self.block_timeout}s "
+                    "(threaded watchdog)"
                 )
+        if worker is not None and time_source is not None:
+            # Mirror the simulated engine (Executor.block_until contract):
+            # the blocked worker's clock advances to the satisfaction
+            # timestamp, so idle/busy accounting stays comparable across
+            # engines. On this engine both sides are wall-clock based.
+            worker.advance_clock_to(time_source())
 
     # ------------------------------------------------------------------
     def submit_root(
@@ -237,11 +283,21 @@ class ThreadedExecutor(Executor):
         fut = self.submit_root(runtime, fn, name=name)
         done = threading.Event()
         fut.on_ready(lambda _f: done.set())
-        if not done.wait(timeout=self.block_timeout):
-            raise DeadlockError(
-                f"root task {name!r} did not complete within "
-                f"{self.block_timeout}s (threaded watchdog)"
-            )
+        # Progress-extending watchdog: wait in slices and restart the stall
+        # deadline whenever workers completed tasks since the last check.
+        mark = self._progress
+        deadline = time.monotonic() + self.block_timeout
+        while not done.wait(timeout=0.05):
+            now_m = time.monotonic()
+            seen = self._progress
+            if seen != mark:
+                mark = seen
+                deadline = now_m + self.block_timeout
+            elif now_m > deadline:
+                raise DeadlockError(
+                    f"root task {name!r} made no progress for "
+                    f"{self.block_timeout}s (threaded watchdog)"
+                )
         return fut.value()
 
     def makespan(self) -> float:

@@ -37,6 +37,7 @@ import threading
 from collections import deque
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Type
 
+from repro.runtime import instrument
 from repro.util.errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -71,11 +72,19 @@ class WorkerDeque:
 
     __slots__ = ("_lock", "_items", "_place", "_bit")
 
-    def __init__(self, place: Optional["PlaceDeques"] = None, bit: int = 0):
-        self._lock = threading.Lock()
+    def __init__(self, place: Optional["PlaceDeques"] = None, bit: int = 0,
+                 lock_cls: Type = threading.Lock):
+        self._lock = lock_cls()
         self._items: deque = deque()
         self._place = place
         self._bit = bit
+
+    def _loc(self, field: str):
+        pd = self._place
+        pname = pd.place.name if pd is not None else "?"
+        if field == "items":
+            return ("slot", (pname, self._bit.bit_length() - 1), "items")
+        return ("place", pname, field)
 
     def push(self, task: "Task") -> bool:
         """Append a task; returns True iff the slot was empty before (its
@@ -85,8 +94,14 @@ class WorkerDeque:
             newly = not items
             items.append(task)
             pd = self._place
+            p = instrument.PROBE
+            if p is not None:
+                p.on_access(self._loc("items"), True)
             if pd is not None:
                 with pd.index_lock:
+                    if p is not None:
+                        p.on_access(self._loc("mask"), True)
+                        p.on_access(self._loc("ready"), True)
                     pd.mask |= self._bit
                     pd.ready += 1
             return newly
@@ -99,8 +114,14 @@ class WorkerDeque:
                 return None
             task = items.pop()
             pd = self._place
+            p = instrument.PROBE
+            if p is not None:
+                p.on_access(self._loc("items"), True)
             if pd is not None:
                 with pd.index_lock:
+                    if p is not None:
+                        p.on_access(self._loc("mask"), True)
+                        p.on_access(self._loc("ready"), True)
                     pd.ready -= 1
                     if not items:
                         pd.mask &= ~self._bit
@@ -114,8 +135,14 @@ class WorkerDeque:
                 return None
             task = items.popleft()
             pd = self._place
+            p = instrument.PROBE
+            if p is not None:
+                p.on_access(self._loc("items"), True)
             if pd is not None:
                 with pd.index_lock:
+                    if p is not None:
+                        p.on_access(self._loc("mask"), True)
+                        p.on_access(self._loc("ready"), True)
                     pd.ready -= 1
                     if not items:
                         pd.mask &= ~self._bit
@@ -131,8 +158,14 @@ class WorkerDeque:
             out = list(items)
             items.clear()
             pd = self._place
+            p = instrument.PROBE
+            if p is not None:
+                p.on_access(self._loc("items"), True)
             if pd is not None:
                 with pd.index_lock:
+                    if p is not None:
+                        p.on_access(self._loc("mask"), True)
+                        p.on_access(self._loc("ready"), True)
                     pd.ready -= len(out)
                     pd.mask &= ~self._bit
             return out
@@ -231,7 +264,7 @@ class PlaceDeques:
         self.index_lock = lock_cls()
         slot_cls = UnsyncWorkerDeque if lock_cls is NullLock else WorkerDeque
         self.slots: List[WorkerDeque] = [
-            slot_cls(self, 1 << w) for w in range(num_workers)
+            slot_cls(self, 1 << w, lock_cls) for w in range(num_workers)
         ]
 
     def push(self, task: "Task") -> bool:

@@ -16,6 +16,7 @@ from __future__ import annotations
 import threading
 from typing import List, Optional, Type
 
+from repro.runtime import instrument
 from repro.runtime.deques import NullLock
 from repro.runtime.future import Future, Promise
 from repro.util.errors import HiperError
@@ -65,6 +66,9 @@ class FinishScope:
         self._promise = Promise(name=f"{name}-done")
         self._exceptions: List[BaseException] = []
         self._end_time = 0.0
+        p = instrument.PROBE
+        if p is not None:
+            p.on_scope_created(self)
 
     # -- task registration ------------------------------------------------
     def task_spawned(self) -> None:
@@ -77,6 +81,9 @@ class FinishScope:
             self._count += 1
             return
         with lock:
+            p = instrument.PROBE
+            if p is not None:
+                p.on_access(("scope", id(self), "count"), True)
             if self._closed and self._count == 0:
                 raise HiperError(
                     f"finish scope {self.name!r} already joined; cannot spawn into it"
@@ -93,6 +100,9 @@ class FinishScope:
                 self._promise.put(None)
             return
         with lock:
+            p = instrument.PROBE
+            if p is not None:
+                p.on_access(("scope", id(self), "count"), True)
             if exc is not None:
                 self._exceptions.append(exc)
             self._count -= 1
@@ -111,11 +121,17 @@ class FinishScope:
             fire = self._count == 0
         else:
             with lock:
+                p = instrument.PROBE
+                if p is not None:
+                    p.on_access(("scope", id(self), "count"), True)
                 if self._closed:
                     raise HiperError(f"finish scope {self.name!r} closed twice")
                 self._closed = True
                 self._count -= 1
                 fire = self._count == 0
+        p = instrument.PROBE
+        if p is not None:
+            p.on_scope_closed(self)
         if fire:
             self._promise.put(None)
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, List, Optional, Sequence
 
+from repro.runtime import instrument
 from repro.runtime.context import current_context, require_context
 from repro.util.errors import PromiseError
 
@@ -69,6 +70,11 @@ class Promise:
             self._put_time = now
             self._satisfied = True
             callbacks, self._callbacks = self._callbacks, []
+        p = instrument.PROBE
+        if p is not None:
+            # Happens-before source: everything the producer did is ordered
+            # before any consumer that observes satisfaction.
+            p.on_sync_release(("promise", id(self)))
         fut = self.get_future()
         for cb in callbacks:
             cb(fut)
@@ -147,6 +153,9 @@ class Future:
                 description=f"future {self.name or hex(id(self))}",
                 time_source=lambda: p._put_time,
             )
+        probe = instrument.PROBE
+        if probe is not None:
+            probe.on_sync_acquire(("promise", id(p)))
         return self.value()
 
     def get(self) -> Any:

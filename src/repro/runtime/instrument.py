@@ -1,0 +1,134 @@
+"""Concurrency instrumentation hooks (no-op by default).
+
+The verification harness (:mod:`repro.verify`) observes the policy core's
+shared-state accesses — deque occupancy mask/counter updates, finish-scope
+pending counts, promise state transitions — through a single module-global
+*probe*. Production runs never install one, so the entire cost at every hook
+site is one module-attribute load plus a ``None`` test, the same idiom as
+:attr:`repro.exec.base.Executor.task_fault_hook`. The simulated executor's
+lock-free fast paths (``UnsyncWorkerDeque``, lock-free ``FinishScope``) carry
+no hook sites at all: probes live only on the locked variants, which the
+single-threaded engine never instantiates.
+
+A probe is any object implementing (a subset of) the :class:`Probe` protocol.
+Hook sites fetch ``instrument.PROBE`` once and call it only when non-None::
+
+    p = instrument.PROBE
+    if p is not None:
+        p.on_access(("place", name, "mask"), True)
+
+Thread identity is *not* passed down: probes resolve the current logical
+worker from :func:`repro.runtime.context.current_context`, which works for
+both real OS threads and the cooperative interleaving executor.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional, Tuple
+
+#: Location key: (kind, object-name, field), e.g. ("place", "sysmem", "mask").
+Location = Tuple[str, Any, str]
+
+#: The installed probe, or None (production default).
+PROBE: Optional["Probe"] = None
+
+
+class Probe:
+    """Protocol (and no-op base) for concurrency probes.
+
+    Subclass and override what you need; every method defaults to a no-op so
+    probes stay forward-compatible with new hook sites.
+    """
+
+    def on_access(self, loc: Location, is_write: bool,
+                  benign: bool = False) -> None:
+        """A shared-state access. ``benign=True`` marks the documented
+        lock-free reads (occupancy mask/counter snapshots) whose staleness
+        is bounded-safe by design — detectors whitelist them."""
+
+    def on_lock_acquire(self, lock: "TrackedLock") -> None:
+        """``lock`` is now held by the current logical thread."""
+
+    def on_lock_release(self, lock: "TrackedLock") -> None:
+        """``lock`` is about to be released by the current logical thread."""
+
+    def on_sync_release(self, key: Any) -> None:
+        """A happens-before *source*: promise satisfaction, scope join."""
+
+    def on_sync_acquire(self, key: Any) -> None:
+        """A happens-before *sink*: observing a satisfied promise/join."""
+
+    def on_scope_created(self, scope: Any) -> None:
+        """A FinishScope was constructed (leak tracking)."""
+
+    def on_scope_closed(self, scope: Any) -> None:
+        """A FinishScope dropped its opener hold."""
+
+
+def set_probe(probe: Optional[Probe]) -> Optional[Probe]:
+    """Install ``probe`` globally; returns the previously installed one."""
+    global PROBE
+    prev = PROBE
+    PROBE = probe
+    return prev
+
+
+@contextmanager
+def probed(probe: Probe) -> Iterator[Probe]:
+    """``with probed(detector): ...`` — install/uninstall around a run."""
+    prev = set_probe(probe)
+    try:
+        yield probe
+    finally:
+        set_probe(prev)
+
+
+_tracked_ids = itertools.count()
+
+
+class TrackedLock:
+    """A real lock that reports acquire/release to the installed probe.
+
+    The interleaving executor plugs this in as its
+    :attr:`~repro.exec.base.Executor.lock_class`, so every pluggable lock in
+    the policy core (deque slot locks, occupancy index locks, finish-scope
+    locks) feeds the race detector's lockset analysis. Under the cooperative
+    single-OS-thread engine the lock is never contended; it exists to carry
+    identity, not exclusion.
+    """
+
+    __slots__ = ("_lock", "lid", "label")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.lid = next(_tracked_ids)
+        #: Optional human-readable tag set by whoever created the lock.
+        self.label = ""
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        ok = self._lock.acquire(blocking, timeout)
+        if ok:
+            p = PROBE
+            if p is not None:
+                p.on_lock_acquire(self)
+        return ok
+
+    def release(self) -> None:
+        p = PROBE
+        if p is not None:
+            p.on_lock_release(self)
+        self._lock.release()
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.release()
+        return False
+
+    def __repr__(self) -> str:
+        return f"TrackedLock(#{self.lid}{', ' + self.label if self.label else ''})"

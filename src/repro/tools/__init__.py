@@ -3,6 +3,8 @@ module time attribution, Chrome-trace export, and the profiling harness."""
 
 from repro.tools.profile import (ProfileReport, TelemetryModule,
                                  profile_spmd, telemetry_factory)
+from repro.tools.schedule import (ScheduleArtifact, artifact_from_outcome,
+                                  load_schedule, save_schedule)
 from repro.tools.trace import (CounterSample, InstantEvent, MessageEvent,
                                SpawnEvent, TraceEvent, TraceRecorder,
                                merge_intervals)
@@ -12,11 +14,15 @@ __all__ = [
     "InstantEvent",
     "MessageEvent",
     "ProfileReport",
+    "ScheduleArtifact",
     "SpawnEvent",
     "TelemetryModule",
     "TraceEvent",
     "TraceRecorder",
+    "artifact_from_outcome",
+    "load_schedule",
     "merge_intervals",
     "profile_spmd",
+    "save_schedule",
     "telemetry_factory",
 ]

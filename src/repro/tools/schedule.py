@@ -1,0 +1,95 @@
+"""Failing-schedule artifacts: save / load / replay verification failures.
+
+When the race-hunt harness finds a failing interleaving, the seed alone is
+enough to reproduce it (strategies are fully seeded) — but CI artifacts
+should survive code drift, so the artifact also embeds the *recorded
+schedule* and the run's findings. :func:`load_schedule` restores everything
+needed to replay either way::
+
+    art = load_schedule("failing-schedule.json")
+    repro.verify.replay_schedule(art.schedule)          # exact replay
+    repro.verify.run_once(art.strategy, art.seed)       # from-seed replay
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.verify.harness import HuntOutcome
+
+#: Bumped when the artifact layout changes.
+SCHEDULE_FORMAT = 1
+
+
+@dataclass
+class ScheduleArtifact:
+    """A verification failure, loadable for replay."""
+
+    strategy: str
+    seed: int
+    digest: str
+    schedule: List[Tuple[int, int, str, int]]
+    races: List[str] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+    workers: int = 4
+    planted: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "format": SCHEDULE_FORMAT,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "digest": self.digest,
+            "workers": self.workers,
+            "planted": self.planted,
+            "races": self.races,
+            "violations": self.violations,
+            "error": self.error,
+            "schedule": [list(e) for e in self.schedule],
+        }
+
+
+def artifact_from_outcome(outcome: "HuntOutcome", *, workers: int = 4,
+                          planted: bool = False) -> ScheduleArtifact:
+    return ScheduleArtifact(
+        strategy=outcome.strategy,
+        seed=outcome.seed,
+        digest=outcome.digest,
+        schedule=list(outcome.schedule),
+        races=[r.describe() for r in outcome.races],
+        violations=list(outcome.invariants.violations),
+        error=outcome.error,
+        workers=workers,
+        planted=planted,
+    )
+
+
+def save_schedule(artifact: ScheduleArtifact, path: str) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(artifact.to_dict(), fh, indent=1)
+        fh.write("\n")
+    return path
+
+
+def load_schedule(path: str) -> ScheduleArtifact:
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    fmt = data.get("format", 0)
+    if fmt != SCHEDULE_FORMAT:
+        raise ValueError(
+            f"{path}: schedule artifact format {fmt} != {SCHEDULE_FORMAT}")
+    return ScheduleArtifact(
+        strategy=data["strategy"],
+        seed=int(data["seed"]),
+        digest=data["digest"],
+        schedule=[tuple(e) for e in data["schedule"]],
+        races=list(data.get("races", [])),
+        violations=list(data.get("violations", [])),
+        error=data.get("error"),
+        workers=int(data.get("workers", 4)),
+        planted=bool(data.get("planted", False)),
+    )

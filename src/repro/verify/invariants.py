@@ -1,0 +1,92 @@
+"""Quiesce-time conservation invariants (the differential checker's oracle).
+
+After a runtime has quiesced (its root work completed and its engine drained)
+three conservation laws must hold regardless of engine or schedule:
+
+1. **Task conservation** — every task spawned was eventually executed to
+   completion, failed through the normal failure path, or explicitly killed
+   by the resilience layer: ``spawned == completed + failed + killed``.
+2. **Empty deques** — no ready task is still sitting in any slot
+   (``deques.total_ready() == 0``); leftover work means the engine declared
+   quiescence too early or the occupancy index lost an update.
+3. **No leaked finish scopes** — every non-daemon scope opened during the run
+   was closed (checked via the race detector's scope ledger when one is
+   installed; the per-rank ``daemon-r{rank}`` scope lives forever by design).
+
+Violations are collected, not raised, so a differential run can report *all*
+broken laws for a schedule at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import HiperRuntime
+    from repro.verify.racedetect import RaceDetector
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of the quiesce-invariant check for one runtime."""
+
+    spawned: int = 0
+    completed: int = 0
+    failed: int = 0
+    killed: int = 0
+    ready_left: int = 0
+    leaked_scopes: List[str] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> str:
+        head = (
+            f"spawned={self.spawned} completed={self.completed} "
+            f"failed={self.failed} killed={self.killed} "
+            f"ready_left={self.ready_left}"
+        )
+        if self.ok:
+            return f"invariants OK ({head})"
+        return "invariant violations ({}):\n  - {}".format(
+            head, "\n  - ".join(self.violations)
+        )
+
+
+def check_quiesce(runtime: "HiperRuntime",
+                  detector: Optional["RaceDetector"] = None) -> InvariantReport:
+    """Check the conservation laws on a quiesced ``runtime``."""
+    counters = runtime.stats.counters
+    rep = InvariantReport()
+    rep.spawned = sum(
+        n for (mod, op), n in counters.items() if op == "tasks_spawned"
+    )
+    rep.completed = counters.get(("core", "tasks_completed"), 0)
+    rep.failed = counters.get(("core", "tasks_failed"), 0)
+    rep.killed = counters.get(("resilience", "tasks_killed"), 0)
+    rep.ready_left = runtime.deques.total_ready()
+
+    accounted = rep.completed + rep.failed + rep.killed
+    if rep.spawned != accounted:
+        rep.violations.append(
+            f"task conservation broken: spawned={rep.spawned} but "
+            f"completed+failed+killed={accounted}"
+        )
+    if rep.ready_left != 0:
+        rep.violations.append(
+            f"deques not empty at quiesce: {rep.ready_left} ready task(s) "
+            f"left ({runtime.deques.snapshot()})"
+        )
+    if detector is not None:
+        leaks = detector.leaked_scopes()
+        if leaks:
+            rep.leaked_scopes = [
+                getattr(s, "name", "?") or "?" for s in leaks
+            ]
+            rep.violations.append(
+                f"leaked finish scopes: {rep.leaked_scopes}"
+            )
+    return rep

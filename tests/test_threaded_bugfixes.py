@@ -1,0 +1,151 @@
+"""Regression tests for the three threaded-engine bugs the concurrency
+harness flushed out (ISSUE 4 satellites a-c).
+
+Each test fails on the pre-fix engine:
+
+- use-after-shutdown: submit_root/call_later enqueued work no thread could
+  ever run and hung until the watchdog fired (satellite a);
+- the run_root/block_until watchdogs measured *total* blocking time, so a
+  steadily progressing run longer than ``block_timeout`` raised a false
+  DeadlockError (satellite b);
+- ``block_until`` accepted ``time_source`` but never used it, leaving blocked
+  workers' clocks (idle-time accounting) frozen at zero (satellite c).
+"""
+
+import time
+
+import pytest
+
+from repro.exec.sim import SimExecutor
+from repro.exec.threaded import ThreadedExecutor
+from repro.platform.hwloc import discover, machine
+from repro.runtime.api import async_future
+from repro.runtime.context import current_context
+from repro.runtime.future import Promise
+from repro.runtime.runtime import HiperRuntime
+from repro.util.errors import RuntimeStateError
+
+
+def _threaded_rt(workers=2, block_timeout=20.0):
+    ex = ThreadedExecutor(block_timeout=block_timeout)
+    model = discover(machine("workstation"), num_workers=workers,
+                     with_interconnect=False)
+    return HiperRuntime(model, ex).start(), ex
+
+
+class TestUseAfterShutdown:
+    """Satellite (a): a shut-down executor must refuse new work loudly."""
+
+    def test_run_after_shutdown_raises_immediately(self):
+        rt, ex = _threaded_rt()
+        assert rt.run(lambda: 42) == 42
+        rt.shutdown()
+        ex.shutdown()
+        t0 = time.monotonic()
+        with pytest.raises(RuntimeStateError, match="after shutdown"):
+            rt.run(lambda: 1)
+        # Pre-fix this hung for block_timeout (20 s here) before a
+        # DeadlockError; the whole point is failing fast.
+        assert time.monotonic() - t0 < 1.0
+
+    def test_call_later_after_shutdown_raises(self):
+        rt, ex = _threaded_rt()
+        rt.run(lambda: None)
+        rt.shutdown()
+        ex.shutdown()
+        with pytest.raises(RuntimeStateError, match="after shutdown"):
+            ex.call_later(0.01, lambda: None)
+
+    def test_shutdown_without_ever_starting_then_submit(self):
+        ex = ThreadedExecutor()
+        model = discover(machine("workstation"), num_workers=2,
+                         with_interconnect=False)
+        rt = HiperRuntime(model, ex).start()
+        ex.shutdown()  # never started: still marks the executor dead
+        with pytest.raises(RuntimeStateError, match="after shutdown"):
+            rt.run(lambda: 1)
+
+
+class TestProgressExtendingWatchdog:
+    """Satellite (b): steady progress must never trip the deadlock watchdog,
+    however long the run takes in total."""
+
+    def test_long_but_progressing_run_does_not_deadlock(self):
+        # Total wall time ~5x block_timeout, but a task completes every
+        # ~60 ms; the watchdog deadline must keep extending.
+        rt, ex = _threaded_rt(block_timeout=0.3)
+
+        def step(i):
+            time.sleep(0.06)
+            if i == 0:
+                return 0
+            return async_future(lambda: step(i - 1), name=f"step-{i}").wait() + 1
+
+        assert rt.run(lambda: step(24)) == 24
+        rt.shutdown()
+        ex.shutdown()
+
+    def test_true_hang_still_detected_promptly(self):
+        from repro.util.errors import DeadlockError
+
+        rt, ex = _threaded_rt(block_timeout=0.3)
+        t0 = time.monotonic()
+        with pytest.raises(DeadlockError, match="watchdog"):
+            rt.run(lambda: Promise("never").get_future().wait())
+        assert time.monotonic() - t0 < 5.0
+        rt.shutdown()
+        ex.shutdown()
+
+
+class TestBlockedClockAccounting:
+    """Satellite (c): block_until must honor ``time_source`` — the blocked
+    worker's clock advances to the satisfaction timestamp, matching the
+    simulated engine's contract (exec/base.py)."""
+
+    def _clock_after_blocking_wait(self, rt, ex, delay):
+        out = {}
+
+        def main():
+            p = Promise("timer")
+            ex.call_later(delay, lambda: p.put("x"))
+            p.get_future().wait()
+            out["clock"] = current_context().worker.clock
+            return out["clock"]
+
+        rt.run(main)
+        return out["clock"]
+
+    def test_threaded_blocked_worker_clock_advances(self):
+        rt, ex = _threaded_rt()
+        clock = self._clock_after_blocking_wait(rt, ex, delay=0.08)
+        # Pre-fix the threaded engine ignored time_source and the worker's
+        # clock stayed 0.0 forever.
+        assert clock >= 0.08 * 0.5  # generous slack for timer jitter
+        rt.shutdown()
+        ex.shutdown()
+
+    def test_cross_engine_accounting_contract(self):
+        """Both engines leave the blocked worker's clock at (>=) the wait's
+        satisfaction time; sim is exact in virtual seconds."""
+        delay = 0.05
+
+        sim = SimExecutor()
+        model = discover(machine("workstation"), num_workers=2)
+        srt = HiperRuntime(model, sim).start()
+
+        def main():
+            p = Promise("timer")
+            sim.call_later(delay, lambda: p.put("x"))
+            p.get_future().wait()
+            return current_context().worker.clock
+
+        sim_clock = srt.run(main)
+        srt.shutdown()
+        sim.shutdown()
+        assert sim_clock == pytest.approx(delay)
+
+        rt, ex = _threaded_rt()
+        thr_clock = self._clock_after_blocking_wait(rt, ex, delay=delay)
+        rt.shutdown()
+        ex.shutdown()
+        assert thr_clock >= delay * 0.5

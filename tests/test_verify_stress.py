@@ -1,0 +1,104 @@
+"""Hypothesis-driven concurrency stress (ISSUE 4 satellite d): random spawn
+trees under random worker counts must produce identical results on the
+simulated and threaded engines, quiesce cleanly, and replay bit-for-bit
+under the interleaving executor."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exec.sim import SimExecutor
+from repro.exec.threaded import ThreadedExecutor
+from repro.platform.hwloc import discover, machine
+from repro.runtime.api import async_, async_future, finish
+from repro.runtime.runtime import HiperRuntime
+from repro.verify import check_quiesce, run_once
+
+_settings = settings(max_examples=25, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def _random_tree_workload(shape):
+    """Build a root body from a hypothesis-drawn tree shape.
+
+    ``shape`` is a list of per-level fan-outs; each level alternates between
+    fire-and-forget spawns (finish-joined) and future-returning spawns, so
+    both synchronization styles get shuffled."""
+
+    def node(level):
+        if level >= len(shape):
+            return 1
+        fan = shape[level]
+        acc = []
+        futs = []
+
+        def body():
+            for i in range(fan):
+                if i % 2 == 0:
+                    async_(lambda lv=level: acc.append(node(lv + 1)),
+                           name=f"t{level}.{i}")
+                else:
+                    futs.append(async_future(
+                        lambda lv=level: node(lv + 1), name=f"f{level}.{i}"))
+
+        finish(body, name=f"lvl{level}")
+        return 1 + sum(acc) + sum(f.value() for f in futs)
+
+    def root():
+        return node(0)
+
+    return root
+
+
+def _expected_nodes(shape):
+    total, width = 1, 1
+    for fan in shape:
+        width *= fan
+        total += width
+    return total
+
+
+tree_shapes = st.lists(st.integers(min_value=1, max_value=4),
+                       min_size=1, max_size=3)
+
+
+class TestStressDifferential:
+    @_settings
+    @given(shape=tree_shapes, workers=st.integers(min_value=1, max_value=6))
+    def test_sim_and_threads_agree_and_quiesce(self, shape, workers):
+        want = _expected_nodes(shape)
+
+        sim = SimExecutor()
+        model = discover(machine("workstation"), num_workers=workers)
+        rt = HiperRuntime(model, sim).start()
+        sim_result = rt.run(_random_tree_workload(shape))
+        sim_inv = check_quiesce(rt)
+        rt.shutdown()
+        sim.shutdown()
+
+        thr = ThreadedExecutor(block_timeout=20.0)
+        model = discover(machine("workstation"), num_workers=workers,
+                         with_interconnect=False)
+        rt = HiperRuntime(model, thr).start()
+        thr_result = rt.run(_random_tree_workload(shape))
+        thr_inv = check_quiesce(rt)
+        rt.shutdown()
+        thr.shutdown()
+
+        assert sim_result == want
+        assert thr_result == want
+        assert sim_inv.ok, sim_inv.describe()
+        assert thr_inv.ok, thr_inv.describe()
+
+    @_settings
+    @given(shape=tree_shapes,
+           strategy=st.sampled_from(["random", "pct", "pbound"]),
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_interleave_explores_cleanly_and_replays(self, shape, strategy,
+                                                     seed):
+        out = run_once(strategy, seed, workers=3,
+                       workload=_random_tree_workload(shape))
+        assert out.ok, out.describe()
+        assert out.result == _expected_nodes(shape)
+        again = run_once(strategy, seed, workers=3,
+                         workload=_random_tree_workload(shape))
+        assert again.digest == out.digest
