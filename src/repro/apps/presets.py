@@ -16,6 +16,7 @@ from repro.apps.graph500.common import Graph500Config
 from repro.apps.hpgmg.solver import HpgmgConfig
 from repro.apps.isx.common import IsxConfig
 from repro.apps.uts.common import UtsConfig
+from repro.net.coalesce import CoalescePolicy
 from repro.util.errors import ConfigError
 
 
@@ -73,6 +74,14 @@ def geo_weak_scaling(scale: float = 1.0) -> GeoConfig:
     _check_scale(scale)
     n = max(8, int(32 * scale))
     return GeoConfig(nx=n, ny=n, nz=n, timesteps=4)
+
+
+def comm_coalesce() -> CoalescePolicy:
+    """Coalescing policy for the fine-grained benchmarks (ISx bucket
+    exchange, Graph500 frontier pushes): batch up to 32 messages / 32 KiB
+    per destination, flushing lone stragglers after 5 us of virtual time.
+    Pass as ``coalesce=`` to a comm module factory."""
+    return CoalescePolicy(max_msgs=32, max_bytes=1 << 15, flush_interval=5e-6)
 
 
 PRESETS = {

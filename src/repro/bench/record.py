@@ -1,19 +1,26 @@
-"""Scheduler performance recording: append pytest-benchmark results to a
-committed JSON ledger (``BENCH_scheduler.json``).
+"""Performance recording: append pytest-benchmark results to committed JSON
+ledgers (``BENCH_scheduler.json``, ``BENCH_comm.json``).
 
-The ledger makes scheduler-overhead changes reviewable the same way figure
-outputs are: every entry pins ops/sec per micro-benchmark to a commit hash
-and date, so a perf regression shows up as a diff instead of an anecdote.
+The ledgers make overhead changes reviewable the same way figure outputs
+are: every entry pins ops/sec per micro-benchmark to a commit hash and date,
+so a perf regression shows up as a diff instead of an anecdote. Each ledger
+is owned by a *suite* — a benchmark module plus its CI fast subset:
+
+- ``scheduler`` — spawn/join, steal, future machinery
+  (``benchmarks/bench_micro_runtime.py``);
+- ``comm`` — per-message vs. coalesced sends, polling sweeps, buffer-pool
+  hit rates, ISx exchange end-to-end (``benchmarks/bench_micro_comm.py``).
 
 Usage::
 
     python -m repro bench-record --label "post-overhaul"
+    python -m repro bench-record --suite comm
     python -m repro bench-record --fast        # CI perf-smoke subset
     python benchmarks/record.py                # same, as a script
 
-Each invocation runs ``benchmarks/bench_micro_runtime.py`` under
-pytest-benchmark, extracts per-benchmark ``ops`` (1/mean), mean/median/stddev
-and rounds, and appends one entry to the ledger.
+Each invocation runs the suite's benchmark module under pytest-benchmark,
+extracts per-benchmark ``ops`` (1/mean), mean/median/stddev and rounds, and
+appends one entry to the suite's ledger.
 """
 
 from __future__ import annotations
@@ -39,6 +46,25 @@ FAST_BENCHES = (
     "test_spawn_and_join_throughput_sim",
     "test_future_chain_throughput_sim",
 )
+
+#: Benchmark suites: name -> (ledger, bench module, CI fast subset).
+SUITES: Dict[str, Dict[str, Any]] = {
+    "scheduler": {
+        "ledger": DEFAULT_LEDGER,
+        "bench_file": DEFAULT_BENCH_FILE,
+        "fast": FAST_BENCHES,
+    },
+    "comm": {
+        "ledger": "BENCH_comm.json",
+        "bench_file": "benchmarks/bench_micro_comm.py",
+        # The per-message/coalesced pair is the ledger's headline comparison,
+        # so the smoke subset always records both sides.
+        "fast": (
+            "test_small_put_per_message",
+            "test_small_put_coalesced",
+        ),
+    },
+}
 
 
 def repo_root() -> str:
@@ -125,7 +151,8 @@ def run_benchmarks(
     try:
         cmd = [
             sys.executable, "-m", "pytest", bench_file, "-q",
-            "--benchmark-only", f"--benchmark-json={tmp}",
+            "--benchmark-only", "--benchmark-disable-gc",
+            f"--benchmark-json={tmp}",
         ]
         if keyword:
             cmd += ["-k", keyword]
@@ -165,23 +192,33 @@ def append_entry(path: str, entry: Dict[str, Any]) -> None:
 def record(
     out: Optional[str] = None,
     label: str = "",
-    bench_file: str = DEFAULT_BENCH_FILE,
+    bench_file: Optional[str] = None,
     fast: bool = False,
     keyword: Optional[str] = None,
+    suite: str = "scheduler",
 ) -> Dict[str, Any]:
-    """Run the micro-benchmarks and append one entry to the ledger.
+    """Run one suite's micro-benchmarks and append an entry to its ledger.
 
-    ``fast`` restricts the run to :data:`FAST_BENCHES` (the CI smoke subset);
-    ``keyword`` passes an explicit pytest ``-k`` expression instead. Returns
-    the appended entry.
+    ``fast`` restricts the run to the suite's CI smoke subset; ``keyword``
+    passes an explicit pytest ``-k`` expression instead. ``out`` and
+    ``bench_file`` override the suite's ledger path / benchmark module.
+    Returns the appended entry.
     """
+    try:
+        cfg = SUITES[suite]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark suite {suite!r}; known: {sorted(SUITES)}"
+        ) from None
     root = repo_root()
-    out = out or os.path.join(root, DEFAULT_LEDGER)
+    out = out or os.path.join(root, cfg["ledger"])
+    bench_file = bench_file or cfg["bench_file"]
     if fast and keyword is None:
-        keyword = " or ".join(FAST_BENCHES)
+        keyword = " or ".join(cfg["fast"])
     raw = run_benchmarks(bench_file, keyword=keyword, cwd=root)
     entry = {
         "label": label or ("perf-smoke" if fast else "bench-record"),
+        "suite": suite,
         "commit": current_commit(root),
         "date": datetime.now(timezone.utc).isoformat(),
         "machine": raw.get("machine_info", {}).get("node", "unknown"),

@@ -375,7 +375,8 @@ def cmd_verify(args) -> int:
     import os
 
     from repro.tools.schedule import artifact_from_outcome, save_schedule
-    from repro.verify import (WORKLOADS, differential, replay_schedule,
+    from repro.verify import (WORKLOADS, differential,
+                              isx_coalescing_differential, replay_schedule,
                               run_once)
     from repro.verify.strategies import STRATEGIES
 
@@ -459,6 +460,16 @@ def cmd_verify(args) -> int:
                 failures += 1
                 print("    " + rep.describe().replace("\n", "\n    "))
 
+        # 3b. comm-path differential: ISx over the SPMD fabric with message
+        #     coalescing on vs. off must sort to identical outputs.
+        rep = isx_coalescing_differential()
+        mark = "OK  " if rep.ok else "FAIL"
+        print(f"  diff:{'isx-coal':<9s}{mark} "
+              f"{'/'.join(r.engine for r in rep.runs)}")
+        if not rep.ok:
+            failures += 1
+            print("    " + rep.describe().replace("\n", "\n    "))
+
     print(f"({failures} failure(s), {time.time() - t0:.1f}s wall)")
     return 1 if failures else 0
 
@@ -472,19 +483,19 @@ def cmd_platform(args) -> int:
 
 
 def cmd_bench_record(args) -> int:
-    """Run the runtime micro-benchmarks and append the results (ops/sec per
-    bench, commit hash, date) to the committed perf ledger."""
-    from repro.bench.record import format_entry, load_ledger, record
+    """Run one suite's micro-benchmarks and append the results (ops/sec per
+    bench, commit hash, date) to the suite's committed perf ledger."""
+    from repro.bench.record import SUITES, format_entry, load_ledger, record
 
     t0 = time.time()
     entry = record(out=args.out, label=args.label, fast=args.fast,
-                   keyword=args.keyword)
+                   keyword=args.keyword, suite=args.suite)
     ledger = load_ledger(args.out) if args.out else None
     baseline = ledger[0] if ledger and len(ledger) > 1 else None
     print(format_entry(entry, baseline))
     print(f"({len(entry['benchmarks'])} benchmarks in "
           f"{time.time() - t0:.1f}s wall; appended to "
-          f"{args.out or 'BENCH_scheduler.json'})")
+          f"{args.out or SUITES[args.suite]['ledger']})")
     return 0
 
 
@@ -522,8 +533,11 @@ def build_parser() -> argparse.ArgumentParser:
     br = sub.add_parser(
         "bench-record",
         help="run runtime micro-benchmarks; append ops/sec to the perf ledger")
+    br.add_argument("--suite", default="scheduler",
+                    choices=["scheduler", "comm"],
+                    help="benchmark suite / ledger to record")
     br.add_argument("--out", default=None,
-                    help="ledger path (default: BENCH_scheduler.json at the "
+                    help="ledger path (default: the suite's ledger at the "
                          "repo root)")
     br.add_argument("--label", default="",
                     help="entry label (e.g. 'post-overhaul')")

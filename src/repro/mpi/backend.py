@@ -20,9 +20,11 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.net.coalesce import CoalescePolicy
 from repro.net.mux import FabricMux
 from repro.runtime.context import current_context
 from repro.runtime.future import Future, Promise
+from repro.util.bufpool import BufferPool, release_if_pooled
 from repro.util.errors import MpiError
 
 ANY_SOURCE = -1
@@ -101,15 +103,6 @@ def _payload_nbytes(data: Any) -> int:
     return 64  # control-message estimate for small Python objects
 
 
-def _snapshot(data: Any) -> Any:
-    """Copy mutable buffers so the sender may reuse them immediately."""
-    if isinstance(data, np.ndarray):
-        return data.copy()
-    if isinstance(data, bytearray):
-        return bytes(data)
-    return data  # treated as immutable
-
-
 class MpiBackend:
     """Per-rank matching engine over the fabric."""
 
@@ -135,6 +128,8 @@ class MpiBackend:
         self._posted: List[Tuple[int, int, int, Optional[np.ndarray], MpiRequest]] = []
         self._unexpected: List[Tuple[int, _Envelope, float]] = []
         self._coll_seq = 0
+        #: Recycles send-snapshot buffers (timing-neutral; wall-clock only).
+        self.pool = BufferPool(stats=self.stats, module=channel)
         mux.register_channel(channel, self._on_delivery)
 
     def enable_retries(self, policy) -> None:
@@ -143,6 +138,21 @@ class MpiBackend:
         non-overtaking guarantee is relaxed for the retried message — see
         ``docs/resilience.md``."""
         self.mux.set_retry_policy(self.channel, policy)
+
+    def enable_coalescing(self, policy: Optional[CoalescePolicy] = None) -> None:
+        """Batch small sends per destination into coalesced envelopes (see
+        :mod:`repro.net.coalesce`). Opt-in: virtual-time schedules change."""
+        self.mux.enable_coalescing(self.channel, policy)
+
+    def _snapshot(self, data: Any) -> Any:
+        """Copy mutable buffers so the sender may reuse them immediately.
+        Array snapshots come from the buffer pool; the receive path releases
+        them when it copies into a user buffer."""
+        if isinstance(data, np.ndarray):
+            return self.pool.take_copy(data)
+        if isinstance(data, bytearray):
+            return bytes(data)
+        return data  # treated as immutable
 
     # ------------------------------------------------------------------
     # point-to-point
@@ -156,7 +166,7 @@ class MpiBackend:
         self._check_peer(dst)
         self._check_tag(tag)
         req = MpiRequest("isend")
-        env = _Envelope(tag, comm, _snapshot(data),
+        env = _Envelope(tag, comm, self._snapshot(data),
                         _payload_nbytes(data) if nbytes is None else nbytes)
         self._charge_send_cpu()
         self.mux.transmit(
@@ -229,6 +239,7 @@ class MpiBackend:
                 )
             flat = buffer.reshape(-1)
             flat[: data.size] = data.reshape(-1)
+            release_if_pooled(data)  # contents copied out; recycle storage
             data = buffer
         self._finish(req, (data, src, env.tag), time)
 

@@ -39,6 +39,7 @@ import numpy as np
 from repro.modules.base import HiperModule
 from repro.mpi import collectives as coll
 from repro.mpi.backend import ANY_SOURCE, ANY_TAG, COMM_WORLD, MpiBackend, MpiRequest
+from repro.net.coalesce import CoalescePolicy
 from repro.platform.place import PlaceType
 from repro.runtime.future import Future, Promise, when_all
 from repro.runtime.polling import PollingService
@@ -59,9 +60,17 @@ class MpiModule(HiperModule):
         direct: bool = False,
         poll_interval: float = 2e-6,
         eager_kick: bool = True,
+        adaptive_polling: bool = False,
+        max_poll_interval: Optional[float] = None,
+        coalesce: Optional[CoalescePolicy] = None,
     ):
         """``ctx`` is the :class:`repro.distrib.RankContext` (the module uses
-        its rank id and fabric mux)."""
+        its rank id and fabric mux). ``adaptive_polling`` enables exponential
+        poll-interval backoff (bounded by ``max_poll_interval``; see
+        :class:`PollingService`); ``coalesce`` batches small sends per
+        destination (a :class:`CoalescePolicy`, or True for the defaults).
+        Both default off to preserve the paper's fixed-interval, per-message
+        behavior bit-for-bit."""
         super().__init__()
         self.ctx = ctx
         self.rank = ctx.rank
@@ -69,6 +78,9 @@ class MpiModule(HiperModule):
         self.direct = direct
         self._poll_interval = poll_interval
         self._eager_kick = eager_kick
+        self._adaptive_polling = adaptive_polling
+        self._max_poll_interval = max_poll_interval
+        self.coalesce = CoalescePolicy() if coalesce is True else coalesce
         self.backend: Optional[MpiBackend] = None
         self.polling: Optional[PollingService] = None
         self.runtime: Optional[HiperRuntime] = None
@@ -90,9 +102,12 @@ class MpiModule(HiperModule):
         self.runtime = runtime
         self.backend = MpiBackend(self.ctx.mux, self.rank,
                                   on_progress=self._on_progress)
+        if self.coalesce is not None:
+            self.backend.enable_coalescing(self.coalesce)
         self.polling = PollingService(
             runtime, inter, module=self.name, interval=self._poll_interval,
-            eager_kick=self._eager_kick, name="mpi-poll",
+            eager_kick=self._eager_kick, adaptive=self._adaptive_polling,
+            max_interval=self._max_poll_interval, name="mpi-poll",
         )
         # Paper §II-C item 4: user-facing functions in the HiPER namespace.
         for api_name, fn in [

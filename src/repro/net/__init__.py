@@ -1,5 +1,6 @@
 """Simulated interconnect: LogGP-style cost model and the message fabric."""
 
+from repro.net.coalesce import ChannelCoalescer, CoalescedBatch, CoalescePolicy
 from repro.net.costmodel import NETWORKS, NetworkModel, network
 from repro.net.fabric import SimFabric
 from repro.net.mux import FabricMux
@@ -13,6 +14,7 @@ from repro.net.topology import (
 
 __all__ = [
     "NETWORKS", "NetworkModel", "network", "SimFabric", "FabricMux",
+    "ChannelCoalescer", "CoalescedBatch", "CoalescePolicy",
     "TOPOLOGIES", "DragonflyTopology", "FlatTopology", "Topology",
     "TorusTopology",
 ]

@@ -1,0 +1,195 @@
+"""Message coalescing for the comm stack (opt-in, per channel).
+
+Fine-grained PGAS communication — ISx's bucket exchange, Graph500's frontier
+pushes — pays one :meth:`SimFabric.transmit` event, one mux dispatch, and one
+injection overhead *per message*. Classic aggregation designs (UPC++/GASNet
+conduits) batch small messages per destination and flush on a watermark or
+timeout, amortizing the per-message injection cost across the batch. This
+module is that layer for :class:`~repro.net.mux.FabricMux`:
+
+- :class:`CoalescePolicy` — the flush rules: message-count watermark, byte
+  watermark, and a virtual-time timeout bounding how long a lone message may
+  sit buffered.
+- :class:`ChannelCoalescer` — per-(channel) aggregation state with one
+  pending buffer per destination. ``send`` appends; a flush packs the
+  buffered payloads into ONE :class:`CoalescedBatch` envelope and hands it to
+  the mux's retry-aware transmit path.
+- :class:`CoalescedBatch` — the wire format. The receiving mux unpacks it
+  and dispatches each inner payload to the channel handler in FIFO order.
+
+Determinism contract (see ``docs/comm-internals.md``):
+
+- Coalescing **disabled** (the default) leaves every code path untouched —
+  sim schedules are bit-for-bit identical to a build without this module.
+- Coalescing **enabled** is itself deterministic: watermarks are exact
+  counts, timeouts are virtual-time events, and flush order is the arrival
+  order of the first buffered message per destination.
+- Fault injection applies to the *envelope*: a dropped or corrupted batch
+  loses/discards every message in it, and a per-channel retry policy
+  retransmits the WHOLE batch — exactly once per attempt, replayed
+  deterministically through the same :meth:`FabricMux._transmit_attempt`
+  path as single messages.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.util.errors import ConfigError
+
+#: Per-message record buffered by the coalescer: (payload, nbytes).
+_Pending = Tuple[Any, int]
+
+
+@dataclasses.dataclass(frozen=True)
+class CoalescePolicy:
+    """Flush rules for one coalesced channel.
+
+    A destination's buffer is flushed when it reaches ``max_msgs`` messages
+    or ``max_bytes`` of payload, when ``flush_interval`` virtual seconds pass
+    since its first buffered message, or when the owner flushes explicitly
+    (quiet/fence/barrier ordering points).
+    """
+
+    max_msgs: int = 32
+    max_bytes: int = 1 << 15
+    flush_interval: float = 5e-6
+
+    def __post_init__(self):
+        if self.max_msgs < 1:
+            raise ConfigError(f"max_msgs must be >= 1, got {self.max_msgs}")
+        if self.max_bytes < 1:
+            raise ConfigError(f"max_bytes must be >= 1, got {self.max_bytes}")
+        if self.flush_interval <= 0:
+            raise ConfigError(
+                f"flush_interval must be positive, got {self.flush_interval}")
+
+
+class CoalescedBatch:
+    """Wire envelope carrying several same-channel payloads to one rank."""
+
+    __slots__ = ("payloads", "payload_bytes")
+
+    def __init__(self, payloads: List[Any], payload_bytes: int):
+        self.payloads = payloads
+        self.payload_bytes = payload_bytes
+
+    def __len__(self) -> int:
+        return len(self.payloads)
+
+    def __repr__(self) -> str:
+        return (f"CoalescedBatch(n={len(self.payloads)}, "
+                f"bytes={self.payload_bytes})")
+
+
+class _DestBuffer:
+    """Pending messages for one destination, plus the timer epoch guarding
+    its timeout flush (a flush bumps the epoch, so stale timers no-op)."""
+
+    __slots__ = ("pending", "payload_bytes", "epoch")
+
+    def __init__(self):
+        self.pending: List[_Pending] = []
+        self.payload_bytes = 0
+        self.epoch = 0
+
+
+class ChannelCoalescer:
+    """Aggregation buffers for one (rank, channel) pair."""
+
+    def __init__(self, mux, channel: str, policy: CoalescePolicy):
+        self.mux = mux
+        self.channel = channel
+        self.policy = policy
+        self._dests: Dict[int, _DestBuffer] = {}
+        self.batches_sent = 0
+        self.msgs_coalesced = 0
+
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        dst: int,
+        payload: Any,
+        nbytes: int,
+        on_injected: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        """Buffer one message; flush if a watermark trips, else ensure a
+        timeout timer is armed for this destination.
+
+        ``on_injected`` (local completion: "source buffer reusable") fires
+        synchronously at *buffer* time, not at envelope injection — the
+        caller snapshotted the payload before transmitting, so its buffer is
+        already reusable the moment it is buffered. Deferring it to the
+        flush would stall tasks blocking on a put's local completion until
+        an unrelated flush trigger.
+        """
+        buf = self._dests.get(dst)
+        if buf is None:
+            buf = self._dests[dst] = _DestBuffer()
+        first = not buf.pending
+        buf.pending.append((payload, nbytes))
+        buf.payload_bytes += nbytes
+        if on_injected is not None:
+            on_injected(self.mux.fabric.executor.now())
+        self.msgs_coalesced += 1
+        pol = self.policy
+        if len(buf.pending) >= pol.max_msgs:
+            self._flush_dest(dst, buf, "watermark_msgs")
+        elif buf.payload_bytes >= pol.max_bytes:
+            self._flush_dest(dst, buf, "watermark_bytes")
+        elif first:
+            epoch = buf.epoch
+            self.mux.fabric.executor.call_later(
+                pol.flush_interval, lambda: self._timeout_flush(dst, epoch))
+
+    def flush(self, dst: Optional[int] = None, *, reason: str = "explicit") -> int:
+        """Flush one destination's buffer (or all of them); returns the
+        number of batches transmitted. Flush order for ``dst=None`` is
+        destination-id order, which is deterministic."""
+        sent = 0
+        if dst is not None:
+            buf = self._dests.get(dst)
+            if buf is not None and buf.pending:
+                self._flush_dest(dst, buf, reason)
+                sent += 1
+            return sent
+        for d in sorted(self._dests):
+            buf = self._dests[d]
+            if buf.pending:
+                self._flush_dest(d, buf, reason)
+                sent += 1
+        return sent
+
+    @property
+    def pending_msgs(self) -> int:
+        return sum(len(b.pending) for b in self._dests.values())
+
+    # ------------------------------------------------------------------
+    def _timeout_flush(self, dst: int, epoch: int) -> None:
+        buf = self._dests.get(dst)
+        if buf is None or epoch != buf.epoch or not buf.pending:
+            return  # a watermark/explicit flush superseded this timer
+        self._flush_dest(dst, buf, "timeout")
+
+    def _flush_dest(self, dst: int, buf: _DestBuffer, reason: str) -> None:
+        pending, buf.pending = buf.pending, []
+        payload_bytes, buf.payload_bytes = buf.payload_bytes, 0
+        buf.epoch += 1
+        batch = CoalescedBatch([p for p, _ in pending], payload_bytes)
+        wire = self.mux.fabric.network.batch_wire_bytes(
+            payload_bytes, len(pending))
+        self.batches_sent += 1
+        stats = self.mux.stats
+        if stats is not None:
+            stats.count(self.channel, "batches_sent")
+            stats.count(self.channel, f"flush_{reason}")
+            stats.observe(self.channel, "batch_occupancy", len(pending))
+        # Route through the mux's retry-aware path: a dropped/corrupted
+        # envelope retransmits the WHOLE batch per the channel's policy.
+        # (Local-completion callbacks already fired at buffer time.)
+        self.mux._transmit_attempt(dst, self.channel, batch, wire, None, 0)
+
+    def __repr__(self) -> str:
+        return (f"ChannelCoalescer({self.channel!r}, "
+                f"pending={self.pending_msgs}, batches={self.batches_sent})")

@@ -35,10 +35,17 @@ class NetworkModel:
     intra_latency: float = 4e-7      # same-node rank-to-rank latency
     intra_bandwidth: float = 3e10    # same-node copy bandwidth
     cpu_overhead: float = 4e-7       # CPU time charged to the sending task
+    #: Wire framing of a coalesced envelope: one batch header plus a small
+    #: per-message header. A batch of n messages pays ``inj_overhead`` ONCE
+    #: (that is the amortization coalescing buys) but still carries
+    #: ``batch_header_bytes + n * msg_header_bytes`` of framing.
+    batch_header_bytes: int = 32
+    msg_header_bytes: int = 8
 
     def __post_init__(self):
         for field in ("latency", "bandwidth", "inj_overhead", "intra_latency",
-                      "intra_bandwidth", "cpu_overhead"):
+                      "intra_bandwidth", "cpu_overhead", "batch_header_bytes",
+                      "msg_header_bytes"):
             if getattr(self, field) < 0:
                 raise ConfigError(f"network parameter {field} must be non-negative")
         if self.bandwidth == 0 or self.intra_bandwidth == 0:
@@ -50,6 +57,11 @@ class NetworkModel:
     def serialization_time(self, nbytes: int) -> float:
         """Time one NIC is busy with this message (either direction)."""
         return self.inj_overhead + nbytes / self.bandwidth
+
+    def batch_wire_bytes(self, payload_bytes: int, count: int) -> int:
+        """Wire size of a coalesced envelope carrying ``count`` messages
+        totalling ``payload_bytes`` of payload."""
+        return payload_bytes + self.batch_header_bytes + count * self.msg_header_bytes
 
 
 #: Interconnects of the paper's evaluation machines (§III-A). Parameters are

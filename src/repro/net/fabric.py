@@ -104,11 +104,23 @@ class SimFabric:
         if not (0 <= rank < self.nranks):
             raise CommError(f"rank {rank} out of range [0, {self.nranks})")
 
-    def register_sink(self, rank: int, sink: Sink) -> None:
+    def register_sink(self, rank: int, sink: Sink, *, replace: bool = False) -> None:
+        """Attach ``rank``'s message sink. A rank has exactly one sink;
+        re-registering raises unless ``replace=True`` (tests that rebuild a
+        rank's mux, failover to a fresh endpoint)."""
         self._check_rank(rank)
-        if rank in self._sinks:
+        if rank in self._sinks and not replace:
             raise CommError(f"rank {rank} already has a registered sink")
         self._sinks[rank] = sink
+
+    def unregister_sink(self, rank: int) -> None:
+        """Detach ``rank``'s sink. New transmits to the rank raise
+        :class:`CommError` until a replacement is registered; messages
+        already in flight deliver to the sink bound at send time."""
+        self._check_rank(rank)
+        if rank not in self._sinks:
+            raise CommError(f"rank {rank} has no registered sink")
+        del self._sinks[rank]
 
     # ------------------------------------------------------------------
     def transmit(

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.net.coalesce import ChannelCoalescer, CoalescedBatch, CoalescePolicy
 from repro.net.fabric import CorruptedPayload, SimFabric
 from repro.util.errors import CommError
 
@@ -35,6 +36,9 @@ class FabricMux:
         #: channel -> RetryPolicy; dropped/corrupted sends on these channels
         #: are retransmitted with backoff instead of silently vanishing.
         self._retry: Dict[str, Any] = {}
+        #: channel -> ChannelCoalescer; sends on these channels are buffered
+        #: per destination and transmitted as CoalescedBatch envelopes.
+        self._coalescers: Dict[str, ChannelCoalescer] = {}
         fabric.register_sink(rank, self._dispatch)
 
     def register_channel(self, name: str, handler: ChannelHandler) -> None:
@@ -44,9 +48,74 @@ class FabricMux:
             )
         self._handlers[name] = handler
 
+    def unregister_channel(self, name: str) -> None:
+        """Tear down ``name``: pending coalesced messages are flushed first,
+        then the handler, retry policy, and coalescer are dropped. Messages
+        still in flight to this channel raise at delivery — unregister at
+        quiesce points."""
+        if name not in self._handlers:
+            raise CommError(
+                f"channel {name!r} not registered on rank {self.rank}"
+            )
+        co = self._coalescers.pop(name, None)
+        if co is not None:
+            co.flush(reason="teardown")
+        del self._handlers[name]
+        self._retry.pop(name, None)
+
+    def close(self) -> None:
+        """Tear down every channel and detach this mux from the fabric, so
+        a replacement mux can claim the rank without ``replace=True``."""
+        for name in list(self._handlers):
+            self.unregister_channel(name)
+        self.fabric.unregister_sink(self.rank)
+
     def channels(self) -> List[str]:
         """Registered channel names (registration order)."""
         return list(self._handlers)
+
+    # ------------------------------------------------------------------
+    def enable_coalescing(
+        self, channel: str, policy: Optional[CoalescePolicy] = None,
+    ) -> ChannelCoalescer:
+        """Buffer sends on ``channel`` per destination and transmit packed
+        :class:`CoalescedBatch` envelopes per ``policy`` (default
+        :class:`CoalescePolicy`). Opt-in: virtual-time schedules change (for
+        the better, usually) when enabled. Returns the coalescer."""
+        if channel not in self._handlers:
+            raise CommError(
+                f"cannot coalesce unregistered channel {channel!r} "
+                f"(rank {self.rank})"
+            )
+        if channel in self._coalescers:
+            raise CommError(
+                f"coalescing already enabled on channel {channel!r} "
+                f"(rank {self.rank})"
+            )
+        co = ChannelCoalescer(self, channel,
+                              policy if policy is not None else CoalescePolicy())
+        self._coalescers[channel] = co
+        return co
+
+    def disable_coalescing(self, channel: str) -> None:
+        """Flush any pending buffers and route ``channel`` sends per-message
+        again."""
+        co = self._coalescers.pop(channel, None)
+        if co is not None:
+            co.flush(reason="teardown")
+
+    def coalescer(self, channel: str) -> Optional[ChannelCoalescer]:
+        return self._coalescers.get(channel)
+
+    def flush(self, channel: Optional[str] = None,
+              dst: Optional[int] = None) -> int:
+        """Explicitly flush coalescing buffers (one channel or all; one
+        destination or all). Ordering points — SHMEM ``quiet``, MPI waits on
+        buffered sends, barriers — call this. Returns batches transmitted."""
+        if channel is not None:
+            co = self._coalescers.get(channel)
+            return co.flush(dst) if co is not None else 0
+        return sum(co.flush(dst) for co in self._coalescers.values())
 
     def set_retry_policy(self, channel: str, policy) -> None:
         """Retransmit dropped/corrupted messages on ``channel`` per
@@ -82,6 +151,13 @@ class FabricMux:
             self.stats.count(channel, "msgs_sent")
             self.stats.count(channel, "bytes_sent", nbytes)
             self.stats.observe(channel, "msg_size", nbytes)
+        co = self._coalescers.get(channel)
+        if co is not None:
+            # Buffered: the envelope transmits at a flush point, but local
+            # completion (on_injected) fires at buffer time — the caller
+            # snapshotted the payload, so its buffer is already reusable.
+            co.send(dst, payload, nbytes, on_injected)
+            return self.fabric.executor.now()
         return self._transmit_attempt(dst, channel, payload, nbytes,
                                       on_injected, 0)
 
@@ -125,6 +201,15 @@ class FabricMux:
                 f"rank {self.rank} received message on unregistered channel "
                 f"{channel!r} from rank {src}"
             )
+        if type(payload) is CoalescedBatch:
+            # Unpack and dispatch each inner payload in send order (FIFO
+            # within the batch, and batches obey the fabric's pairwise FIFO).
+            if self.stats is not None:
+                self.stats.count(channel, "batches_received")
+                self.stats.count(channel, "msgs_received", len(payload))
+            for inner in payload.payloads:
+                handler(src, inner, time)
+            return
         if self.stats is not None:
             self.stats.count(channel, "msgs_received")
         handler(src, payload, time)

@@ -349,7 +349,10 @@ def _as_byte_view(buf: Any, nbytes: int, role: str) -> np.ndarray:
         )
     if not buf.flags["C_CONTIGUOUS"]:
         raise ConfigError(f"{role} buffer must be C-contiguous")
-    flat = buf.reshape(-1).view(np.uint8)
+    if buf.dtype == np.uint8 and buf.ndim == 1:
+        flat = buf  # already a flat byte view: no re-wrap on the hot path
+    else:
+        flat = buf.reshape(-1).view(np.uint8)
     if flat.nbytes < nbytes:
         raise ConfigError(
             f"{role} buffer holds {flat.nbytes} bytes but copy needs {nbytes}"

@@ -28,10 +28,12 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.net.coalesce import CoalescePolicy
 from repro.net.mux import FabricMux
 from repro.runtime.context import current_context
 from repro.runtime.future import Future, Promise
 from repro.shmem.heap import SymArray, SymmetricHeap
+from repro.util.bufpool import BufferPool, release_if_pooled
 from repro.util.errors import ShmemError
 
 _CHANNEL = "shmem"
@@ -82,11 +84,25 @@ class ShmemBackend:
         self.puts = 0
         self.gets = 0
         self.amos = 0
+        #: Recycles put-snapshot buffers (timing-neutral; wall-clock only).
+        self.pool = BufferPool(stats=self.stats, module=_CHANNEL)
         mux.register_channel(_CHANNEL, self._on_delivery)
 
     def _count(self, op: str, n: int = 1) -> None:
         if self.stats is not None:
             self.stats.count(_CHANNEL, op, n)
+
+    def enable_coalescing(self, policy: Optional[CoalescePolicy] = None) -> None:
+        """Batch small puts/AMOs per destination PE into coalesced envelopes
+        (see :mod:`repro.net.coalesce`). Opt-in: virtual-time schedules
+        change. :meth:`quiet` flushes pending buffers, so ordering points
+        behave exactly as without coalescing."""
+        self.mux.enable_coalescing(_CHANNEL, policy)
+
+    def snapshot(self, data: np.ndarray) -> np.ndarray:
+        """Pool-backed copy of ``data`` for callers that snapshot a put
+        payload themselves (then pass ``copy=False`` to :meth:`put`)."""
+        return self.pool.take_copy(np.asarray(data))
 
     def enable_retries(self, policy) -> None:
         """Retransmit dropped/corrupted SHMEM messages per ``policy`` (a
@@ -99,21 +115,28 @@ class ShmemBackend:
     # puts
     # ------------------------------------------------------------------
     def put(self, target: SymArray, data: Any, pe: int, offset: int = 0,
-            *, nbytes: Optional[int] = None) -> Future:
+            *, nbytes: Optional[int] = None, copy: bool = True) -> Future:
         """Store ``data`` into PE ``pe``'s copy of ``target`` at ``offset``.
 
         Returns the *local completion* future (buffer reusable). Remote
         completion is observable via :meth:`quiet`. ``nbytes`` overrides the
         wire size (shape-preserving workload scaling, DESIGN.md §2).
+        ``copy=False`` skips the send-side snapshot for callers that already
+        own an immutable copy (e.g. one made via :meth:`snapshot`), avoiding
+        a double copy on the module's async path.
         """
         self._check_pe(pe)
-        data = np.asarray(data)
+        if not isinstance(data, np.ndarray):
+            # asarray would also strip a PooledArray snapshot down to a plain
+            # ndarray view, losing its release() — convert only non-arrays.
+            data = np.asarray(data)
         self._check_bounds(target, offset, data.size, pe)
         self.puts += 1
         self._count("puts")
         self._outstanding += 1
-        done = Promise(name=f"put-{target.sym_id}@{pe}")
-        payload = ("put", target.sym_id, offset, data.copy(), self.rank)
+        done = Promise(name="shmem-put")
+        wire_data = self.pool.take_copy(data) if copy else data
+        payload = ("put", target.sym_id, offset, wire_data, self.rank)
         self._charge_cpu()
         wire = int(data.nbytes) if nbytes is None else int(nbytes)
         self.mux.transmit(
@@ -185,6 +208,10 @@ class ShmemBackend:
     def quiet(self) -> Future:
         """Future satisfied when all previously-issued puts/AMOs from this PE
         have completed remotely."""
+        # Ordering point: push any coalesced buffers onto the wire now rather
+        # than waiting out their flush timeout. ``_outstanding`` was counted
+        # at issue time, so quiet cannot return before buffered ops land.
+        self.mux.flush(_CHANNEL)
         done = Promise(name=f"quiet-pe{self.rank}")
         if self._outstanding == 0:
             done.put(None)
@@ -212,13 +239,13 @@ class ShmemBackend:
             raise ShmemError(
                 f"unknown comparison {cmp!r}; expected one of {sorted(CMP_OPS)}"
             ) from None
-        arr = self.heap.resolve(sym.sym_id)
+        arr = self.heap.flat(sym.sym_id)
         if not (0 <= index < arr.size):
             raise ShmemError(f"watch index {index} out of bounds for {sym}")
         done = Promise(name=f"wait_until-{sym.sym_id}[{index}]")
 
         def probe() -> bool:
-            return bool(cmp_fn(arr.reshape(-1)[index], value))
+            return bool(cmp_fn(arr[index], value))
 
         if probe():
             done.put(None)
@@ -257,13 +284,15 @@ class ShmemBackend:
         kind = payload[0]
         if kind == "put":
             _, sym_id, offset, data, origin = payload
-            arr = self.heap.resolve(sym_id).reshape(-1)
-            arr[offset : offset + data.size] = data.reshape(-1)
+            arr = self.heap.flat(sym_id)
+            arr[offset : offset + data.size] = (
+                data if data.ndim == 1 else data.reshape(-1))
+            release_if_pooled(data)  # applied; recycle the snapshot storage
             self._peers[origin]._remote_completed()
             self._check_watchers(sym_id)
         elif kind == "get":
             _, sym_id, offset, n, origin, req_id = payload
-            arr = self.heap.resolve(sym_id).reshape(-1)
+            arr = self.heap.flat(sym_id)
             data = arr[offset : offset + n].copy()
             self.mux.transmit(
                 origin, _CHANNEL, ("resp", req_id, data),
@@ -271,7 +300,7 @@ class ShmemBackend:
             )
         elif kind == "amo":
             _, op, sym_id, index, operand, cond, origin, req_id = payload
-            arr = self.heap.resolve(sym_id).reshape(-1)
+            arr = self.heap.flat(sym_id)
             old = arr[index].item()
             if op == "add":
                 arr[index] = old + operand

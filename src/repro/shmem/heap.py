@@ -55,6 +55,10 @@ class SymmetricHeap:
     def __init__(self, rank: int, shared_signatures: Optional[Dict] = None):
         self.rank = rank
         self._arrays: Dict[int, np.ndarray] = {}
+        # Cached flattened views (zero-copy: symmetric arrays are contiguous,
+        # so reshape(-1) aliases the same storage). The delivery hot path
+        # resolves (sym_id -> flat view) once per allocation, not per message.
+        self._flat: Dict[int, np.ndarray] = {}
         self._next_id = 0
         # Shared across all ranks of a run (same dict object): sym_id ->
         # (shape, dtype-str) of the first allocator, for symmetry checks.
@@ -82,6 +86,7 @@ class SymmetricHeap:
         if sym.sym_id not in self._arrays:
             raise ShmemError(f"double free of sym_id {sym.sym_id} on PE {self.rank}")
         del self._arrays[sym.sym_id]
+        self._flat.pop(sym.sym_id, None)
 
     def resolve(self, sym_id: int) -> np.ndarray:
         try:
@@ -91,6 +96,14 @@ class SymmetricHeap:
                 f"PE {self.rank}: no symmetric allocation with id {sym_id} "
                 "(freed, or allocation order diverged across PEs)"
             ) from None
+
+    def flat(self, sym_id: int) -> np.ndarray:
+        """Cached zero-copy 1-D view of the allocation (the remote-op fast
+        path: puts/gets/AMOs address flat offsets)."""
+        view = self._flat.get(sym_id)
+        if view is None:
+            view = self._flat[sym_id] = self.resolve(sym_id).reshape(-1)
+        return view
 
     def __len__(self) -> int:
         return len(self._arrays)

@@ -24,6 +24,7 @@ import numpy as np
 from repro.modules.base import HiperModule
 from repro.mpi import collectives as coll
 from repro.mpi.backend import MpiBackend
+from repro.net.coalesce import CoalescePolicy
 from repro.platform.place import PlaceType
 from repro.runtime.future import Future, Promise, when_all
 from repro.runtime.runtime import HiperRuntime
@@ -39,12 +40,17 @@ class ShmemModule(HiperModule):
     capabilities = frozenset({"communication", "one-sided", "atomics",
                               "collectives"})
 
-    def __init__(self, ctx, *, direct: bool = False):
+    def __init__(self, ctx, *, direct: bool = False,
+                 coalesce: Optional[CoalescePolicy] = None):
         super().__init__()
         self.ctx = ctx
         self.rank = ctx.rank
         self.nranks = ctx.nranks
         self.direct = direct
+        #: Coalesce small puts/AMOs per destination PE (opt-in; pass a
+        #: CoalescePolicy, or True for the defaults). Control-channel
+        #: collectives stay per-message so barriers remain prompt.
+        self.coalesce = CoalescePolicy() if coalesce is True else coalesce
         self.heap: Optional[SymmetricHeap] = None
         self.backend: Optional[ShmemBackend] = None
         self._ctl: Optional[MpiBackend] = None
@@ -64,6 +70,8 @@ class ShmemModule(HiperModule):
         peers = self.ctx.shared.setdefault("shmem-backends", {})
         self.heap = SymmetricHeap(self.rank, shared_signatures=sigs)
         self.backend = ShmemBackend(self.ctx.mux, self.rank, self.heap, peers)
+        if self.coalesce is not None:
+            self.backend.enable_coalescing(self.coalesce)
         # Control channel for collectives (barrier/bcast/reduce algorithms).
         self._ctl = MpiBackend(self.ctx.mux, self.rank, channel="shmem-ctl")
         for api_name, fn in [
@@ -137,11 +145,16 @@ class ShmemModule(HiperModule):
         The source buffer is snapshotted at call time (the communication task
         may run later), so callers may reuse it immediately. ``nbytes``
         overrides the wire size (workload scaling; see DESIGN.md §2).
+
+        The snapshot comes from the backend's buffer pool and doubles as the
+        wire payload (``copy=False``), so the module+backend path performs
+        exactly one copy, not two.
         """
         b = self._backend()
-        data = np.asarray(data).copy()
+        data = b.snapshot(data)
         return self._comm_task(
-            lambda: b.put(target, data, pe, offset, nbytes=nbytes), "put"
+            lambda: b.put(target, data, pe, offset, nbytes=nbytes, copy=False),
+            "put",
         )
 
     def put(self, target: SymArray, data: Any, pe: int, offset: int = 0,

@@ -19,9 +19,11 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.net.coalesce import CoalescePolicy
 from repro.net.mux import FabricMux
 from repro.runtime.context import current_context
 from repro.runtime.future import Future, Promise
+from repro.util.bufpool import BufferPool, release_if_pooled
 from repro.util.errors import UpcxxError
 
 _CHANNEL = "upcxx"
@@ -71,6 +73,8 @@ class UpcxxBackend:
         self.rputs = 0
         self.rgets = 0
         self.rpcs = 0
+        #: Recycles rput-snapshot buffers (timing-neutral; wall-clock only).
+        self.pool = BufferPool(stats=mux.stats, module=_CHANNEL)
         mux.register_channel(_CHANNEL, self._on_delivery)
 
     def enable_retries(self, policy) -> None:
@@ -78,6 +82,12 @@ class UpcxxBackend:
         :class:`repro.resilience.RetryPolicy`); rput/rget/rpc futures then
         complete on the retried delivery instead of hanging."""
         self.mux.set_retry_policy(_CHANNEL, policy)
+
+    def enable_coalescing(self, policy: Optional[CoalescePolicy] = None) -> None:
+        """Batch small rputs/rgets/RPCs per destination into coalesced
+        envelopes (see :mod:`repro.net.coalesce`). Opt-in: virtual-time
+        schedules change."""
+        self.mux.enable_coalescing(_CHANNEL, policy)
 
     # ------------------------------------------------------------------
     # shared objects
@@ -119,7 +129,8 @@ class UpcxxBackend:
         self._charge_cpu()
         self.mux.transmit(
             gptr.rank, _CHANNEL,
-            ("rput", gptr.obj_id, gptr.offset, data.copy(), self.rank, done[0]),
+            ("rput", gptr.obj_id, gptr.offset, self.pool.take_copy(data),
+             self.rank, done[0]),
             int(data.nbytes) + _CTRL,
         )
         return done[1]
@@ -171,6 +182,7 @@ class UpcxxBackend:
                 ))
                 return
             arr[offset : offset + data.size] = data.reshape(-1)
+            release_if_pooled(data)  # applied; recycle the snapshot storage
             self._respond(origin, req_id, None, _CTRL)
         elif kind == "rget":
             _, obj_id, offset, count, origin, req_id = payload

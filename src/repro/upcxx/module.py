@@ -15,6 +15,7 @@ import numpy as np
 from repro.modules.base import HiperModule
 from repro.mpi import collectives as coll
 from repro.mpi.backend import MpiBackend
+from repro.net.coalesce import CoalescePolicy
 from repro.platform.place import PlaceType
 from repro.runtime.future import Future
 from repro.runtime.runtime import HiperRuntime
@@ -28,11 +29,14 @@ class UpcxxModule(HiperModule):
     name = "upcxx"
     capabilities = frozenset({"communication", "one-sided", "rpc"})
 
-    def __init__(self, ctx):
+    def __init__(self, ctx, *, coalesce: Optional[CoalescePolicy] = None):
         super().__init__()
         self.ctx = ctx
         self.rank = ctx.rank
         self.nranks = ctx.nranks
+        #: Coalesce small rputs/rgets/RPCs per destination (opt-in; a
+        #: CoalescePolicy, or True for the defaults).
+        self.coalesce = CoalescePolicy() if coalesce is True else coalesce
         self.backend: Optional[UpcxxBackend] = None
         self._ctl: Optional[MpiBackend] = None
         self.runtime: Optional[HiperRuntime] = None
@@ -45,6 +49,8 @@ class UpcxxModule(HiperModule):
         self.backend = UpcxxBackend(
             self.ctx.mux, self.rank, peers, spawn_rpc=self._spawn_rpc
         )
+        if self.coalesce is not None:
+            self.backend.enable_coalescing(self.coalesce)
         self._ctl = MpiBackend(self.ctx.mux, self.rank, channel="upcxx-ctl")
         for api_name, fn in [
             ("upcxx_shared_array", self.shared_array),

@@ -1,0 +1,126 @@
+"""Pooled message buffers: stop allocating a fresh numpy array per message.
+
+Every comm backend snapshots its payload at send time so callers may reuse
+their buffers immediately (`MPI_Send` buffered semantics, `shmem_put` local
+completion). In hot loops — ISx's bucket exchange fires thousands of puts —
+that is one `ndarray` allocation + copy per message. A :class:`BufferPool`
+recycles power-of-two-sized backing stores instead: ``take_copy`` returns a
+:class:`PooledArray` view (right shape/dtype, pooled storage) and the
+receiver calls ``release()`` once the bytes are applied, returning the
+storage for the next send.
+
+Ownership protocol:
+
+- the **sender** takes the copy and ships the view as the payload;
+- the **receiver** releases it after copying the contents out (SHMEM puts,
+  UPC++ rputs, MPI receives into a user buffer);
+- if the receiver *keeps* the array (an MPI receive with no posted buffer
+  hands the payload to application code), it simply never releases — the
+  storage is garbage-collected like an ordinary allocation;
+- a dropped envelope whose retries are exhausted is likewise never released.
+
+Releases are idempotent and the pool never reuses storage before release, so
+late releases are safe and double releases are rejected. The pool does no
+virtual-time accounting at all: enabling it cannot change a simulated
+schedule, only the wall-clock cost of running it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+class PooledArray(np.ndarray):
+    """An ndarray view backed by pooled storage. Only the array returned by
+    :meth:`BufferPool.take_copy` carries the pool reference; views derived
+    from it (reshape, slices) are plain arrays for release purposes."""
+
+    def __array_finalize__(self, obj):
+        if not hasattr(self, "_pool"):
+            self._pool = None
+            self._raw = None
+
+    def release(self) -> None:
+        """Return the backing storage to its pool (idempotent on views,
+        rejected on double release of the owner)."""
+        pool = self._pool
+        if pool is None:
+            return
+        raw = self._raw
+        self._pool = None
+        self._raw = None
+        pool._give_back(raw)
+
+
+class BufferPool:
+    """Size-classed (power-of-two) pool of message snapshot buffers."""
+
+    def __init__(self, *, max_per_class: int = 64, stats=None,
+                 module: str = "net"):
+        if max_per_class < 1:
+            raise ValueError(f"max_per_class must be >= 1, got {max_per_class}")
+        self._free: Dict[int, List[np.ndarray]] = {}
+        self.max_per_class = max_per_class
+        self.stats = stats
+        self.module = module
+        self.hits = 0
+        self.misses = 0
+        self.released = 0
+
+    # ------------------------------------------------------------------
+    def take_copy(self, data: np.ndarray) -> PooledArray:
+        """Copy ``data`` into pooled storage; returns a view with ``data``'s
+        shape and dtype. The caller owns it until ``release()``."""
+        nbytes = int(data.nbytes)
+        cls = 1 if nbytes == 0 else 1 << (nbytes - 1).bit_length()
+        free = self._free.get(cls)
+        if free:
+            raw = free.pop()
+            self.hits += 1
+            if self.stats is not None:
+                self.stats.count(self.module, "bufpool_hits")
+        else:
+            raw = np.empty(cls, dtype=np.uint8)
+            self.misses += 1
+            if self.stats is not None:
+                self.stats.count(self.module, "bufpool_misses")
+        # One array object straight over the pooled storage (equivalent to
+        # raw[:nbytes].view(dtype).reshape(shape) but without the three
+        # intermediate ndarrays — this is the per-message hot path).
+        view = PooledArray(data.shape, data.dtype, raw)
+        view._pool = self
+        view._raw = raw
+        np.copyto(view, data)
+        return view
+
+    def _give_back(self, raw: np.ndarray) -> None:
+        self.released += 1
+        if self.stats is not None:
+            self.stats.count(self.module, "bufpool_released")
+        free = self._free.setdefault(raw.nbytes, [])
+        if len(free) < self.max_per_class:
+            free.append(raw)
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        n = self.hits + self.misses
+        return self.hits / n if n else 0.0
+
+    @property
+    def free_buffers(self) -> int:
+        return sum(len(v) for v in self._free.values())
+
+    def __repr__(self) -> str:
+        return (f"BufferPool(hits={self.hits}, misses={self.misses}, "
+                f"free={self.free_buffers}, hit_rate={self.hit_rate:.2f})")
+
+
+def release_if_pooled(data) -> None:
+    """Release ``data`` back to its pool when it is an owning
+    :class:`PooledArray`; no-op for anything else."""
+    release = getattr(data, "release", None)
+    if release is not None:
+        release()

@@ -18,6 +18,7 @@ from repro.verify.differential import (
     DifferentialReport,
     WORKLOADS,
     differential,
+    isx_coalescing_differential,
     run_on_engine,
 )
 from repro.verify.harness import (
@@ -47,6 +48,7 @@ __all__ = [
     "DifferentialReport",
     "WORKLOADS",
     "differential",
+    "isx_coalescing_differential",
     "run_on_engine",
     "HuntOutcome",
     "HuntResult",

@@ -141,13 +141,12 @@ class TestSelfMessaging:
         assert _payload_nbytes({"any": "object"}) == 64
 
     def test_snapshot_semantics(self):
-        from repro.mpi.backend import _snapshot
-
+        ex, (a, b) = make_world()
         arr = np.ones(3)
-        snap = _snapshot(arr)
+        snap = a._snapshot(arr)
         arr[:] = 0
         assert np.all(snap == 1)
         ba = bytearray(b"xy")
-        snap2 = _snapshot(ba)
+        snap2 = a._snapshot(ba)
         ba[0] = 0
         assert snap2 == b"xy"
