@@ -1,5 +1,6 @@
 """Performance recording: append pytest-benchmark results to committed JSON
-ledgers (``BENCH_scheduler.json``, ``BENCH_comm.json``).
+ledgers (``BENCH_scheduler.json``, ``BENCH_comm.json``,
+``BENCH_procs.json``).
 
 The ledgers make overhead changes reviewable the same way figure outputs
 are: every entry pins ops/sec per micro-benchmark to a commit hash and date,
@@ -9,7 +10,9 @@ is owned by a *suite* — a benchmark module plus its CI fast subset:
 - ``scheduler`` — spawn/join, steal, future machinery
   (``benchmarks/bench_micro_runtime.py``);
 - ``comm`` — per-message vs. coalesced sends, polling sweeps, buffer-pool
-  hit rates, ISx exchange end-to-end (``benchmarks/bench_micro_comm.py``).
+  hit rates, ISx exchange end-to-end (``benchmarks/bench_micro_comm.py``);
+- ``procs`` — the multiprocess SPMD backend end-to-end: launch + ISx
+  exchange wall time at 1 vs. 4 ranks (``benchmarks/bench_procs.py``).
 
 Usage::
 
@@ -62,6 +65,17 @@ SUITES: Dict[str, Dict[str, Any]] = {
         "fast": (
             "test_small_put_per_message",
             "test_small_put_coalesced",
+        ),
+    },
+    "procs": {
+        "ledger": "BENCH_procs.json",
+        "bench_file": "benchmarks/bench_procs.py",
+        # The 1-rank/4-rank ISx pair is the ledger's headline comparison:
+        # the 4-rank run must beat 1 rank (real parallel speedup across
+        # processes), so the smoke subset always records both sides.
+        "fast": (
+            "test_isx_procs_1rank",
+            "test_isx_procs_4ranks",
         ),
     },
 }

@@ -6,6 +6,7 @@ Usage (after ``pip install -e .``)::
     python -m repro fig5                  # regenerate Fig. 5's table
     python -m repro fig7 --nodes 1 2 4    # custom sweep points
     python -m repro validate              # run every app's correctness check
+    python -m repro run --backend procs   # digest workloads on real processes
     python -m repro platform titan        # print a machine's platform JSON
 
 Each figure command builds the same sweep as its ``benchmarks/bench_*.py``
@@ -155,9 +156,9 @@ def _sweep_fig(fig: str, nodes: List[int]) -> None:
 
 
 def cmd_figure(args) -> int:
-    t0 = time.time()
+    t0 = time.perf_counter()
     _sweep_fig(args.figure, list(args.nodes))
-    print(f"(simulated in {time.time() - t0:.1f}s wall)")
+    print(f"(simulated in {time.perf_counter() - t0:.1f}s wall)")
     return 0
 
 
@@ -175,10 +176,10 @@ def cmd_validate(_args) -> int:
 
     def check(name, fn):
         nonlocal failures
-        t0 = time.time()
+        t0 = time.perf_counter()
         try:
             fn()
-            print(f"  {name:<12s} OK   ({time.time() - t0:.1f}s)")
+            print(f"  {name:<12s} OK   ({time.perf_counter() - t0:.1f}s)")
         except Exception as exc:  # noqa: BLE001 - report and continue
             failures += 1
             print(f"  {name:<12s} FAIL {type(exc).__name__}: {exc}")
@@ -299,7 +300,7 @@ def cmd_profile(args) -> int:
     from repro.tools import profile_spmd
 
     main_fn, cluster, factories = _profile_target(args.figure, args.scale)
-    t0 = time.time()
+    t0 = time.perf_counter()
     report = profile_spmd(main_fn, cluster, module_factories=factories,
                           out_dir=args.out)
     m = report.metrics
@@ -307,7 +308,7 @@ def cmd_profile(args) -> int:
           f"makespan {m['makespan'] * 1e3:.3f} ms (virtual), "
           f"utilization {m['utilization']:.1%}, "
           f"{m['trace_events']} trace events "
-          f"({time.time() - t0:.1f}s wall)")
+          f"({time.perf_counter() - t0:.1f}s wall)")
     for ch, rec in sorted(m["comm_volume"].items()):
         print(f"  {ch:>10s}: {int(rec['messages'])} msgs, "
               f"{int(rec['bytes'])} bytes")
@@ -334,7 +335,7 @@ def cmd_chaos(args) -> int:
     ex = SimExecutor()
     tracer = TraceRecorder()
     ex.attach_tracer(tracer)
-    t0 = time.time()
+    t0 = time.perf_counter()
     res = spmd_run(main_fn, cluster, module_factories=factories,
                    executor=ex, fault_injector=injector)
 
@@ -345,7 +346,7 @@ def cmd_chaos(args) -> int:
     print(f"chaos {args.figure} [{args.plan}, seed={plan.seed}] on "
           f"{res.nranks} ranks: makespan {res.makespan * 1e3:.3f} ms "
           f"(virtual), {len(injector.events)} faults injected, "
-          f"{retries} retries ({time.time() - t0:.1f}s wall)")
+          f"{retries} retries ({time.perf_counter() - t0:.1f}s wall)")
     for kind in sorted(counts):
         print(f"  {kind:>18s}: {counts[kind]}")
     if args.out:
@@ -406,7 +407,7 @@ def cmd_verify(args) -> int:
                   "(code changed since the artifact was recorded)")
         return 0 if out.ok == (not art.races and not art.violations) else 1
 
-    t0 = time.time()
+    t0 = time.perf_counter()
     # 1. self-check: the planted race in the known-buggy fixture MUST be
     #    rediscovered (detector ground truth).
     if not args.skip_selfcheck:
@@ -470,8 +471,61 @@ def cmd_verify(args) -> int:
             failures += 1
             print("    " + rep.describe().replace("\n", "\n    "))
 
-    print(f"({failures} failure(s), {time.time() - t0:.1f}s wall)")
+    print(f"({failures} failure(s), {time.perf_counter() - t0:.1f}s wall)")
     return 1 if failures else 0
+
+
+def cmd_run(args) -> int:
+    """Run the digest workloads on one execution backend.
+
+    ``--backend sim|threads`` runs the single-runtime task-parallel form
+    inside this process; ``--backend procs`` runs the SPMD twin across real
+    OS processes — one per rank, SHMEM heap on POSIX shared memory, puts
+    and collectives over a Unix-socket fabric. The three backends' digests
+    agree by construction, so this doubles as a cross-backend spot check.
+    """
+    from repro.verify import WORKLOADS, run_on_engine
+    from repro.verify.spmd_workloads import run_procs_workload
+
+    apps = sorted(WORKLOADS) if args.app == "all" else [args.app]
+    failures = 0
+    for app in apps:
+        t0 = time.perf_counter()
+        try:
+            if args.backend == "procs":
+                digest, res = run_procs_workload(
+                    app, nranks=args.ranks, launcher=args.launcher,
+                    workers_per_rank=args.workers, timeout=args.timeout)
+                extra = f"{res.nranks} ranks via {args.launcher}"
+            else:
+                run = run_on_engine(WORKLOADS[app](), args.backend,
+                                    workers=args.workers)
+                digest = run.result
+                extra = f"{args.workers} workers in-process"
+            print(f"  {app:<9s} OK   {digest}  "
+                  f"[{args.backend}: {extra}, "
+                  f"{time.perf_counter() - t0:.2f}s wall]")
+        except Exception as exc:  # noqa: BLE001 - report and continue
+            failures += 1
+            print(f"  {app:<9s} FAIL {type(exc).__name__}: {exc}")
+    return 1 if failures else 0
+
+
+def cmd_procs_worker(args) -> int:
+    """(internal) SPMD child entry point for out-of-process launchers.
+
+    ``SubprocessLauncher`` — and real resource-manager launchers modelled on
+    it — start each rank as ``python -m repro procs-worker --job <pickle>
+    --rank <n>``. This unpickles the :class:`~repro.exec.procs.ProcsJob`
+    and runs the standard child main; the exit code is the rank's status.
+    """
+    import pickle
+
+    from repro.exec.procs import procs_child_main
+
+    with open(args.job, "rb") as fh:
+        job = pickle.load(fh)
+    return procs_child_main(job, args.rank)
 
 
 def cmd_platform(args) -> int:
@@ -487,14 +541,14 @@ def cmd_bench_record(args) -> int:
     bench, commit hash, date) to the suite's committed perf ledger."""
     from repro.bench.record import SUITES, format_entry, load_ledger, record
 
-    t0 = time.time()
+    t0 = time.perf_counter()
     entry = record(out=args.out, label=args.label, fast=args.fast,
                    keyword=args.keyword, suite=args.suite)
     ledger = load_ledger(args.out) if args.out else None
     baseline = ledger[0] if ledger and len(ledger) > 1 else None
     print(format_entry(entry, baseline))
     print(f"({len(entry['benchmarks'])} benchmarks in "
-          f"{time.time() - t0:.1f}s wall; appended to "
+          f"{time.perf_counter() - t0:.1f}s wall; appended to "
           f"{args.out or SUITES[args.suite]['ledger']})")
     return 0
 
@@ -534,7 +588,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench-record",
         help="run runtime micro-benchmarks; append ops/sec to the perf ledger")
     br.add_argument("--suite", default="scheduler",
-                    choices=["scheduler", "comm"],
+                    choices=["scheduler", "comm", "procs"],
                     help="benchmark suite / ledger to record")
     br.add_argument("--out", default=None,
                     help="ledger path (default: the suite's ledger at the "
@@ -578,8 +632,9 @@ def build_parser() -> argparse.ArgumentParser:
     vf.add_argument("--planted", action="store_true",
                     help="hunt on the known-buggy fixture (expected to FAIL)")
     vf.add_argument("--engines", nargs="+", default=["sim", "threads"],
-                    choices=["sim", "threads", "interleave"],
-                    help="engines for the differential check")
+                    choices=["sim", "threads", "interleave", "procs"],
+                    help="engines for the differential check (procs = "
+                         "multiprocess SPMD backend)")
     vf.add_argument("--skip-differential", action="store_true")
     vf.add_argument("--skip-selfcheck", action="store_true",
                     help="skip the planted-race detector self-check")
@@ -589,6 +644,35 @@ def build_parser() -> argparse.ArgumentParser:
     vf.add_argument("--replay", default=None, metavar="ARTIFACT",
                     help="replay a saved failing-schedule artifact instead")
     vf.set_defaults(fn=cmd_verify)
+
+    rn = sub.add_parser(
+        "run",
+        help="run the digest workloads on one backend (sim/threads/procs)")
+    rn.add_argument("--backend", default="procs",
+                    choices=["sim", "threads", "procs"],
+                    help="execution backend (default: procs — one OS "
+                         "process per rank)")
+    rn.add_argument("--app", default="all",
+                    choices=["isx", "uts", "graph500", "all"])
+    rn.add_argument("--ranks", type=int, default=4,
+                    help="SPMD ranks (procs backend only)")
+    rn.add_argument("--workers", type=int, default=2,
+                    help="workers per rank (procs) / pool size (sim, "
+                         "threads)")
+    rn.add_argument("--launcher", default="local",
+                    help="process launcher for the procs backend "
+                         "(local, subprocess, flux, pbs)")
+    rn.add_argument("--timeout", type=float, default=300.0,
+                    help="end-to-end timeout per workload (procs), seconds")
+    rn.set_defaults(fn=cmd_run)
+
+    # Internal: child entry point used by out-of-process launchers. No
+    # help= on purpose — it's not part of the user-facing surface.
+    pw = sub.add_parser("procs-worker")
+    pw.add_argument("--job", required=True,
+                    help="path to the pickled ProcsJob")
+    pw.add_argument("--rank", type=int, required=True)
+    pw.set_defaults(fn=cmd_procs_worker)
 
     pp = sub.add_parser("platform", help="print a machine's platform JSON")
     pp.add_argument("machine", choices=["edison", "titan", "workstation"])

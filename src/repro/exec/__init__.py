@@ -1,7 +1,23 @@
-"""Execution engines: virtual-time simulation and real OS threads."""
+"""Execution engines: virtual-time simulation, OS threads, OS processes."""
 
 from repro.exec.base import Executor
 from repro.exec.sim import SimExecutor
 from repro.exec.threaded import ThreadedExecutor
+from repro.exec.procs import (
+    ProcessExecutor,
+    ProcsJob,
+    ProcsResult,
+    procs_child_main,
+    procs_run,
+)
 
-__all__ = ["Executor", "SimExecutor", "ThreadedExecutor"]
+__all__ = [
+    "Executor",
+    "SimExecutor",
+    "ThreadedExecutor",
+    "ProcessExecutor",
+    "ProcsJob",
+    "ProcsResult",
+    "procs_child_main",
+    "procs_run",
+]

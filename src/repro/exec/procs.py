@@ -1,0 +1,492 @@
+"""Multiprocess SPMD backend: one OS process per rank, real parallelism.
+
+This is the reproduction's third execution backend, alongside the
+deterministic simulator (``repro.exec.sim`` + ``repro.distrib.spmd_run``)
+and the single-process thread pool (``repro.exec.threaded``):
+
+- each rank runs a full :class:`~repro.runtime.runtime.HiperRuntime` on a
+  :class:`~repro.exec.threaded.ThreadedExecutor` in its own process (no GIL
+  sharing between ranks — wall-clock speedup is real);
+- ranks talk over a :class:`~repro.net.procfabric.ProcFabric` socket mesh
+  that implements the SimFabric surface, so the whole protocol stack
+  (FabricMux channels, SHMEM, MPI collectives, coalescing, buffer pools)
+  carries over unchanged;
+- each rank's symmetric heap lives in a ``multiprocessing.shared_memory``
+  segment (:class:`~repro.shmem.shared.SharedArena`);
+- process startup is delegated to a pluggable :mod:`repro.launch` launcher
+  (``local`` fork/spawn, ``subprocess`` command lines, batch-system stubs).
+
+The parent-side :class:`ProcessExecutor` mirrors the threaded engine's
+lifecycle discipline: a run that leaves orphaned children or leaked shared
+memory behind raises :class:`~repro.util.errors.RuntimeStateError` instead
+of silently stranding resources.
+
+Jobs are described by a :class:`ProcsJob`. Because rank mains must exist in
+other processes, apps are named by *factory*: either a dotted path
+``"pkg.mod:factory"`` (required for spawn/subprocess launchers) or a direct
+callable (fork launcher only). The factory is called with the job's args in
+the child and must return the ``main(ctx)`` to run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import os
+import pickle
+import shutil
+import tempfile
+import time
+import traceback
+import uuid
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.util.errors import ConfigError, RuntimeStateError
+
+#: Name -> dotted path of the standard module factories (child-resolvable).
+_MODULE_FACTORIES: Dict[str, str] = {
+    "shmem": "repro.shmem:shmem_factory",
+    "mpi": "repro.mpi:mpi_factory",
+    "cuda": "repro.cuda:cuda_factory",
+    "upcxx": "repro.upcxx:upcxx_factory",
+}
+
+_POLL = 0.02  # parent poll interval, seconds
+
+#: How long a finished rank keeps its fabric endpoint alive waiting for the
+#: parent's all-done signal before tearing down anyway (a safety valve; the
+#: parent normally signals within one poll interval of the last result).
+_TEARDOWN_WAIT = 60.0
+
+
+def resolve_dotted(path: str) -> Any:
+    """``"pkg.mod:attr"`` -> the attribute."""
+    mod_name, sep, attr = path.partition(":")
+    if not sep:
+        raise ConfigError(
+            f"dotted factory path must look like 'pkg.mod:attr', got {path!r}")
+    mod = importlib.import_module(mod_name)
+    try:
+        return getattr(mod, attr)
+    except AttributeError:
+        raise ConfigError(f"{mod_name!r} has no attribute {attr!r}") from None
+
+
+@dataclasses.dataclass
+class ProcsJob:
+    """Everything a child process needs to run one rank."""
+
+    run_id: str
+    rundir: str                      # rendezvous: sockets, results, job.pkl
+    nranks: int
+    factory: Union[str, Callable]    # dotted path, or callable (fork only)
+    args: Tuple = ()
+    kwargs: Optional[Dict[str, Any]] = None
+    #: (module name or dotted factory-factory path, kwargs) per module.
+    modules: Sequence = (("shmem", {}),)
+    machine: str = "workstation"
+    workers_per_rank: int = 1
+    heap_bytes: int = 1 << 26
+    seed: int = 0
+    block_timeout: float = 60.0
+    connect_timeout: float = 30.0
+
+    def resolve_factory(self) -> Callable:
+        if callable(self.factory):
+            return self.factory
+        return resolve_dotted(self.factory)
+
+    def resolve_modules(self) -> List[Callable]:
+        out = []
+        for spec in self.modules:
+            if callable(spec):
+                out.append(spec)
+                continue
+            name, kwargs = spec
+            path = _MODULE_FACTORIES.get(name, name)
+            out.append(resolve_dotted(path)(**(kwargs or {})))
+        return out
+
+
+@dataclasses.dataclass
+class ProcsResult:
+    """Outcome of one multiprocess SPMD run."""
+
+    results: List[Any]
+    wall_time: float
+    run_id: str
+    launcher: str
+    #: Merged per-rank stats counters: "module.op" -> count.
+    counters: Dict[str, int]
+
+    @property
+    def nranks(self) -> int:
+        return len(self.results)
+
+
+# ----------------------------------------------------------------------
+# child side
+# ----------------------------------------------------------------------
+def _result_path(rundir: str, rank: int) -> str:
+    return os.path.join(rundir, f"result-{rank}.pkl")
+
+
+def _write_result(rundir: str, rank: int, status: Tuple) -> None:
+    tmp = _result_path(rundir, rank) + ".tmp"
+    with open(tmp, "wb") as fh:
+        pickle.dump(status, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, _result_path(rundir, rank))  # atomic publish
+
+
+def _ready_rendezvous(job: ProcsJob, rank: int) -> None:
+    """Block until every rank has written its ready marker."""
+    with open(os.path.join(job.rundir, f"ready-{rank}"), "w") as fh:
+        fh.write("ready\n")
+    deadline = time.monotonic() + job.connect_timeout
+    waiting = set(range(job.nranks))
+    while waiting:
+        waiting = {r for r in waiting if not os.path.exists(
+            os.path.join(job.rundir, f"ready-{r}"))}
+        if not waiting:
+            return
+        if time.monotonic() > deadline:
+            raise ConfigError(
+                f"rank {rank}: peers {sorted(waiting)} never reached the "
+                f"startup rendezvous within {job.connect_timeout}s")
+        time.sleep(_POLL)
+
+
+def procs_child_main(job: ProcsJob, rank: int) -> int:
+    """Entry point of one rank process (launchers target this).
+
+    Builds the rank's runtime + fabric + shared heap, runs the main, writes
+    the pickled result, holds the fabric open until every rank has finished
+    (peers may still target this PE's symmetric heap), then tears down.
+    Returns the process exit code.
+    """
+    from repro.distrib.spmd import ClusterConfig, RankContext, _bind_main
+    from repro.exec.threaded import ThreadedExecutor
+    from repro.net.procfabric import ProcFabric
+    from repro.platform.hwloc import discover, machine
+    from repro.runtime.runtime import HiperRuntime
+    from repro.shmem.shared import SharedArena, segment_name
+
+    ex = None
+    fabric = None
+    arena = None
+    rt = None
+    ctx = None
+    status: Tuple = ("error", rank, "InternalError", "child never ran", "")
+    ok = False
+    try:
+        main_fn = job.resolve_factory()(*job.args, **(job.kwargs or {}))
+        ex = ThreadedExecutor(block_timeout=job.block_timeout)
+        fabric = ProcFabric(ex, job.nranks, rank, job.rundir,
+                            connect_timeout=job.connect_timeout)
+        fabric.start()
+        arena = SharedArena(segment_name(job.run_id, rank), job.heap_bytes)
+        spec = machine(job.machine)
+        model = discover(spec, num_workers=job.workers_per_rank,
+                         detail="flat")
+        model.name = f"{model.name}-r{rank}"
+        rt = HiperRuntime(model, ex, rank=rank, nranks=job.nranks,
+                          seed=job.seed)
+        config = ClusterConfig(nodes=job.nranks, ranks_per_node=1,
+                               workers_per_rank=job.workers_per_rank,
+                               machine=spec)
+        ctx = RankContext(rank, job.nranks, rt, fabric, config,
+                          shared={"shmem-arena": arena})
+        mods = [factory(ctx) for factory in job.resolve_modules()]
+        rt.start(mods)
+        # Startup rendezvous: no rank may enter its main (and start sending)
+        # until every rank has finished module init — a message landing on a
+        # peer whose channels aren't registered yet would kill its reader
+        # thread. File-based on purpose: the fabric isn't safely usable yet,
+        # which is exactly what this barrier establishes.
+        _ready_rendezvous(job, rank)
+        result = ex.run_root(rt, _bind_main(main_fn, ctx),
+                             name=f"rank{rank}-main")
+        counters = {f"{m}.{op}": int(v)
+                    for (m, op), v in rt.stats.counters.items()}
+        status = ("ok", result, counters)
+        ok = True
+    except BaseException as exc:  # noqa: BLE001 - serialized to the parent
+        status = ("error", rank, type(exc).__name__, str(exc),
+                  traceback.format_exc())
+    try:
+        _write_result(job.rundir, rank, status)
+    except OSError:
+        ok = False
+    # Serve peers until the whole job is done: another rank's main may still
+    # put/get against this PE. The parent publishes `alldone` once every
+    # rank's result landed (or the run is being torn down on error).
+    alldone = os.path.join(job.rundir, "alldone")
+    deadline = time.monotonic() + _TEARDOWN_WAIT
+    while not os.path.exists(alldone) and time.monotonic() < deadline:
+        time.sleep(_POLL)
+    for step in (
+        (lambda: rt.shutdown()) if rt is not None else None,
+        (lambda: ctx._mux.close()) if ctx is not None and ctx._mux else None,
+        (lambda: fabric.close()) if fabric is not None else None,
+        (lambda: ex.shutdown()) if ex is not None else None,
+        (lambda: arena.destroy()) if arena is not None else None,
+    ):
+        if step is None:
+            continue
+        try:
+            step()
+        except BaseException as exc:  # noqa: BLE001 - teardown best-effort
+            if ok:
+                _write_result(job.rundir, rank, (
+                    "error", rank, type(exc).__name__,
+                    f"teardown failed: {exc}", traceback.format_exc()))
+                ok = False
+    return 0 if ok else 1
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+class ProcessExecutor:
+    """Parent-side orchestrator of a multiprocess SPMD run.
+
+    Not a task engine (the engine inside each rank is a
+    :class:`ThreadedExecutor`); this owns process lifecycle: rendezvous
+    directory, launcher dispatch, result collection, straggler termination,
+    and the no-orphans / no-leaked-shared-memory shutdown discipline.
+    """
+
+    mode = "procs"
+
+    def __init__(
+        self,
+        nranks: int,
+        *,
+        launcher: str = "local",
+        workers_per_rank: int = 1,
+        machine: str = "workstation",
+        heap_bytes: int = 1 << 26,
+        timeout: float = 300.0,
+        block_timeout: float = 60.0,
+        seed: int = 0,
+        join_timeout: float = 5.0,
+    ):
+        if nranks < 1:
+            raise ConfigError(f"nranks must be >= 1, got {nranks}")
+        if timeout <= 0 or block_timeout <= 0:
+            raise ConfigError("timeouts must be positive")
+        self.nranks = nranks
+        self.launcher_name = launcher
+        self.workers_per_rank = workers_per_rank
+        self.machine = machine
+        self.heap_bytes = heap_bytes
+        self.timeout = timeout
+        self.block_timeout = block_timeout
+        self.seed = seed
+        self.join_timeout = join_timeout
+        self._handles: List = []
+        self._rundir: Optional[str] = None
+        self._run_id: Optional[str] = None
+        self._shutdown = False
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        factory: Union[str, Callable],
+        args: Tuple = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+        *,
+        modules: Sequence = (("shmem", {}),),
+    ) -> ProcsResult:
+        """Launch ``nranks`` rank processes and collect their results."""
+        from repro.launch import get_launcher
+        from repro.shmem.shared import cleanup_segments
+
+        if self._shutdown:
+            raise RuntimeStateError(
+                "ProcessExecutor used after shutdown(); create a fresh one")
+        if self._handles:
+            raise RuntimeStateError("a run is already in flight")
+        launcher = get_launcher(self.launcher_name)
+        run_id = uuid.uuid4().hex[:12]
+        rundir = tempfile.mkdtemp(prefix=f"repro-procs-{run_id}-")
+        job = ProcsJob(
+            run_id=run_id, rundir=rundir, nranks=self.nranks,
+            factory=factory, args=tuple(args), kwargs=dict(kwargs or {}),
+            modules=tuple(modules), machine=self.machine,
+            workers_per_rank=self.workers_per_rank,
+            heap_bytes=self.heap_bytes, seed=self.seed,
+            block_timeout=self.block_timeout,
+        )
+        self._rundir, self._run_id = rundir, run_id
+        t0 = time.perf_counter()
+        try:
+            self._handles = [launcher.launch(job, rank)
+                             for rank in range(self.nranks)]
+            statuses = self._collect(rundir)
+        finally:
+            # Signal finished ranks to tear down, reap everything, and only
+            # then sweep for leaks (children unlink their own segments on a
+            # clean exit; the sweep catches killed/crashed ones).
+            self._touch_alldone(rundir)
+            self._reap()
+            cleanup_segments(run_id, self.nranks)
+            shutil.rmtree(rundir, ignore_errors=True)
+            self._rundir = self._run_id = None
+        wall = time.perf_counter() - t0
+
+        results: List[Any] = []
+        counters: Dict[str, int] = {}
+        errors: List[Tuple[int, str, str, str]] = []
+        for rank, status in enumerate(statuses):
+            if status is None:
+                errors.append((rank, "ProcessDied",
+                               "rank exited without writing a result", ""))
+                results.append(None)
+            elif status[0] == "ok":
+                results.append(status[1])
+                for key, v in status[2].items():
+                    counters[key] = counters.get(key, 0) + v
+            else:
+                _, erank, ename, emsg, etb = status
+                errors.append((erank, ename, emsg, etb))
+                results.append(None)
+        if errors:
+            # Surface the root cause, not a stranded peer's watchdog stall.
+            errors.sort(key=lambda e: e[1] == "DeadlockError")
+            rank, ename, emsg, etb = errors[0]
+            detail = f"\n--- rank {rank} traceback ---\n{etb}" if etb else ""
+            raise ConfigError(
+                f"{len(errors)} rank(s) failed; first failure on rank "
+                f"{rank}: {ename}: {emsg}{detail}"
+            )
+        return ProcsResult(results=results, wall_time=wall, run_id=run_id,
+                           launcher=self.launcher_name, counters=counters)
+
+    # ------------------------------------------------------------------
+    def _collect(self, rundir: str) -> List[Optional[Tuple]]:
+        """Wait until every rank has a result file or exited; timeout kills
+        stragglers and raises."""
+        deadline = time.monotonic() + self.timeout
+        statuses: List[Optional[Tuple]] = [None] * self.nranks
+        have = [False] * self.nranks
+        while True:
+            for rank in range(self.nranks):
+                if have[rank]:
+                    continue
+                path = _result_path(rundir, rank)
+                if os.path.exists(path):
+                    with open(path, "rb") as fh:
+                        statuses[rank] = pickle.load(fh)
+                    have[rank] = True
+            if all(have):
+                return statuses
+            # A dead child without a result file never will produce one.
+            pending_dead = [
+                rank for rank in range(self.nranks)
+                if not have[rank] and self._handles[rank].poll() is not None
+            ]
+            if pending_dead:
+                # One more sweep: the file may have landed between checks.
+                for rank in pending_dead:
+                    path = _result_path(rundir, rank)
+                    if os.path.exists(path):
+                        with open(path, "rb") as fh:
+                            statuses[rank] = pickle.load(fh)
+                        have[rank] = True
+                if any(not have[rank] for rank in pending_dead):
+                    return statuses
+            if time.monotonic() > deadline:
+                stragglers = [h.rank for h in self._handles if h.alive]
+                self._terminate_all()
+                raise RuntimeStateError(
+                    f"multiprocess run timed out after {self.timeout}s; "
+                    f"terminated straggler rank(s) {stragglers} "
+                    "(likely a rank stalled at a barrier after a peer "
+                    "failure, or the workload outgrew the timeout)"
+                )
+            time.sleep(_POLL)
+
+    def _touch_alldone(self, rundir: str) -> None:
+        try:
+            with open(os.path.join(rundir, "alldone"), "w") as fh:
+                fh.write("done\n")
+        except OSError:
+            pass
+
+    def _terminate_all(self) -> None:
+        for h in self._handles:
+            try:
+                h.terminate()
+            except OSError:
+                pass
+
+    def _reap(self) -> None:
+        """Join every child; escalate terminate -> kill; raise on orphans."""
+        deadline = time.monotonic() + self.timeout
+        while any(h.alive for h in self._handles):
+            if time.monotonic() > deadline:
+                break
+            time.sleep(_POLL)
+        survivors = [h for h in self._handles if h.alive]
+        for h in survivors:
+            h.terminate()
+        if survivors:
+            t_end = time.monotonic() + self.join_timeout
+            while any(h.alive for h in survivors) and time.monotonic() < t_end:
+                time.sleep(_POLL)
+            for h in survivors:
+                if h.alive:
+                    h.kill()
+            t_end = time.monotonic() + self.join_timeout
+            while any(h.alive for h in survivors) and time.monotonic() < t_end:
+                time.sleep(_POLL)
+        leaked = [h for h in self._handles if h.alive]
+        self._handles = []
+        if leaked:
+            raise RuntimeStateError(
+                f"shutdown leaked {len(leaked)} child process(es) still "
+                f"alive after kill: pids "
+                f"{[h.pid for h in leaked]} (mirrors the threaded engine's "
+                "leaked-thread discipline)"
+            )
+
+    def shutdown(self) -> None:
+        """Idempotent; terminates any in-flight children and sweeps leaks."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        rundir, run_id = self._rundir, self._run_id
+        if self._handles:
+            if rundir:
+                self._touch_alldone(rundir)
+            self._terminate_all()
+            self._reap()
+        if run_id:
+            from repro.shmem.shared import cleanup_segments
+
+            cleanup_segments(run_id, self.nranks)
+        if rundir:
+            shutil.rmtree(rundir, ignore_errors=True)
+        self._rundir = self._run_id = None
+
+    def __repr__(self) -> str:
+        return (f"ProcessExecutor(nranks={self.nranks}, "
+                f"launcher={self.launcher_name!r})")
+
+
+def procs_run(
+    factory: Union[str, Callable],
+    args: Tuple = (),
+    kwargs: Optional[Dict[str, Any]] = None,
+    *,
+    nranks: int = 4,
+    modules: Sequence = (("shmem", {}),),
+    **executor_kwargs,
+) -> ProcsResult:
+    """One-shot multiprocess SPMD run (the ``spmd_run`` of this backend)."""
+    ex = ProcessExecutor(nranks, **executor_kwargs)
+    try:
+        return ex.run(factory, args, kwargs, modules=modules)
+    finally:
+        ex.shutdown()

@@ -1,0 +1,147 @@
+"""Pluggable process launchers for the multiprocess SPMD backend.
+
+The paper's framework composes with whatever resource manager a site runs;
+RADICAL-Pilot-style pilot systems make the same split between *acquiring*
+processes and *executing* work in them. This package is that seam: a
+:class:`Launcher` starts one OS process per rank and hands back
+:class:`ProcHandle` objects the :class:`~repro.exec.procs.ProcessExecutor`
+polls, terminates, and reaps — how the processes come to exist (fork,
+subprocess, a batch scheduler) is the launcher's business alone.
+
+Discovery follows the classmethod-predicate registry idiom: a launcher
+subclass registers itself and claims names via ``matches(name)``, so
+``get_launcher("local")`` finds :class:`~repro.launch.local.LocalLauncher`
+without a central if/elif ladder, and external code can register site
+launchers without patching this package::
+
+    @register_launcher
+    class SiteLauncher(Launcher):
+        name = "site"
+        ...
+
+``flux`` and ``pbs`` ship as stubs: they resolve, report availability by
+probing for their CLI tools, and raise :class:`LauncherUnavailable` with the
+command they *would* run — the extension point is live even where no batch
+system is installed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, List, Optional, Sequence, Type
+
+from repro.util.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.procs import ProcsJob
+
+
+class LauncherUnavailable(ConfigError):
+    """The named launcher exists but cannot run here (missing tool/stub)."""
+
+
+class ProcHandle(ABC):
+    """One launched rank process."""
+
+    rank: int = -1
+
+    @abstractmethod
+    def poll(self) -> Optional[int]:
+        """Exit code if the process has exited, else ``None``."""
+
+    @abstractmethod
+    def terminate(self) -> None:
+        """Ask the process to exit (SIGTERM-equivalent)."""
+
+    @abstractmethod
+    def kill(self) -> None:
+        """Force the process down (SIGKILL-equivalent)."""
+
+    @property
+    def alive(self) -> bool:
+        return self.poll() is None
+
+    @property
+    @abstractmethod
+    def pid(self) -> Optional[int]:
+        """OS pid when known (stub launchers may not have one)."""
+
+
+class Launcher(ABC):
+    """Starts the rank processes of one multiprocess SPMD job."""
+
+    #: Primary name used in CLI flags and the registry.
+    name: str = ""
+    #: Additional names this launcher answers to.
+    aliases: Sequence[str] = ()
+
+    @classmethod
+    def matches(cls, name: str) -> bool:
+        """Registry predicate: does this launcher claim ``name``?"""
+        return name == cls.name or name in cls.aliases
+
+    @classmethod
+    def available(cls) -> bool:
+        """Can this launcher actually start processes on this host?"""
+        return True
+
+    @abstractmethod
+    def launch(self, job: "ProcsJob", rank: int) -> ProcHandle:
+        """Start the process for ``rank`` of ``job``."""
+
+
+#: Registration order doubles as match priority.
+_LAUNCHERS: List[Type[Launcher]] = []
+
+
+def register_launcher(cls: Type[Launcher]) -> Type[Launcher]:
+    """Class decorator adding a launcher to the registry."""
+    if not issubclass(cls, Launcher):
+        raise ConfigError(f"{cls!r} is not a Launcher subclass")
+    if not cls.name:
+        raise ConfigError(f"launcher {cls.__name__} must set a name")
+    _LAUNCHERS.append(cls)
+    return cls
+
+
+def get_launcher(name: str) -> Launcher:
+    """Resolve ``name`` via each registered launcher's ``matches``."""
+    for cls in _LAUNCHERS:
+        if cls.matches(name):
+            if not cls.available():
+                raise LauncherUnavailable(
+                    f"launcher {name!r} ({cls.__name__}) is not available on "
+                    "this host"
+                )
+            return cls()
+    known = sorted({c.name for c in _LAUNCHERS})
+    raise ConfigError(f"unknown launcher {name!r}; known launchers: {known}")
+
+
+def available_launchers() -> List[str]:
+    """Names of launchers that can run here (registration order)."""
+    return [c.name for c in _LAUNCHERS if c.available()]
+
+
+def all_launchers() -> List[Type[Launcher]]:
+    return list(_LAUNCHERS)
+
+
+# Register the built-ins (import order = match priority).
+from repro.launch.local import LocalLauncher  # noqa: E402
+from repro.launch.shell import SubprocessLauncher  # noqa: E402
+from repro.launch.stubs import FluxLauncher, PbsLauncher  # noqa: E402
+
+__all__ = [
+    "Launcher",
+    "LauncherUnavailable",
+    "LocalLauncher",
+    "SubprocessLauncher",
+    "FluxLauncher",
+    "PbsLauncher",
+    "ProcHandle",
+    "register_launcher",
+    "get_launcher",
+    "available_launchers",
+    "all_launchers",
+]

@@ -1,0 +1,62 @@
+"""Local launcher: rank processes via :mod:`multiprocessing`.
+
+The default for single-node runs. Uses the ``fork`` start method where the
+platform offers it — child processes inherit the parent's loaded modules and
+the job object in memory, so startup is milliseconds and the job's module
+factories need not be picklable. Falls back to ``spawn`` elsewhere, which
+requires a fully picklable job (same constraint as
+:class:`~repro.launch.shell.SubprocessLauncher`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Optional
+
+from repro.launch import Launcher, ProcHandle, register_launcher
+
+
+def _start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class _MpHandle(ProcHandle):
+    def __init__(self, proc: multiprocessing.Process, rank: int):
+        self._proc = proc
+        self.rank = rank
+
+    def poll(self) -> Optional[int]:
+        return None if self._proc.is_alive() else self._proc.exitcode
+
+    def terminate(self) -> None:
+        if self._proc.is_alive():
+            self._proc.terminate()
+
+    def kill(self) -> None:
+        if self._proc.is_alive():
+            self._proc.kill()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._proc.join(timeout)
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._proc.pid
+
+
+@register_launcher
+class LocalLauncher(Launcher):
+    name = "local"
+    aliases = ("fork", "mp")
+
+    def launch(self, job, rank: int) -> ProcHandle:
+        from repro.exec.procs import procs_child_main
+
+        ctx = multiprocessing.get_context(_start_method())
+        proc = ctx.Process(
+            target=procs_child_main, args=(job, rank),
+            name=f"repro-rank-{rank}", daemon=False,
+        )
+        proc.start()
+        return _MpHandle(proc, rank)

@@ -1,0 +1,73 @@
+"""Subprocess launcher: rank processes via ``python -m repro procs-worker``.
+
+The shape every batch-system launcher takes — a command line per rank —
+exercised locally with plain :class:`subprocess.Popen`. The job spec is
+pickled to the run's rendezvous directory; each worker process imports the
+package fresh (no inherited state), loads the job, and runs its rank. This
+requires the job to be *serializable*: apps are named by dotted factory path
+(``repro.verify.spmd_workloads:isx_digest_factory``), not by closure.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+from typing import Optional
+
+import repro
+from repro.launch import Launcher, ProcHandle, register_launcher
+from repro.util.errors import ConfigError
+
+
+class _PopenHandle(ProcHandle):
+    def __init__(self, proc: subprocess.Popen, rank: int):
+        self._proc = proc
+        self.rank = rank
+
+    def poll(self) -> Optional[int]:
+        return self._proc.poll()
+
+    def terminate(self) -> None:
+        if self._proc.poll() is None:
+            self._proc.terminate()
+
+    def kill(self) -> None:
+        if self._proc.poll() is None:
+            self._proc.kill()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._proc.pid
+
+
+@register_launcher
+class SubprocessLauncher(Launcher):
+    name = "subprocess"
+    aliases = ("shell", "popen")
+
+    def launch(self, job, rank: int) -> ProcHandle:
+        job_path = os.path.join(job.rundir, "job.pkl")
+        if not os.path.exists(job_path):
+            try:
+                with open(job_path, "wb") as fh:
+                    pickle.dump(job, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            except (pickle.PicklingError, TypeError, AttributeError) as exc:
+                raise ConfigError(
+                    "subprocess launcher needs a picklable job: name the app "
+                    "by dotted factory path instead of passing a callable "
+                    f"({exc})"
+                ) from exc
+        env = dict(os.environ)
+        pkg_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = pkg_root + (
+            os.pathsep + existing if existing else "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "procs-worker",
+             "--job", job_path, "--rank", str(rank)],
+            env=env,
+        )
+        return _PopenHandle(proc, rank)

@@ -1,0 +1,70 @@
+"""Batch-system launcher stubs: Flux and PBS Pro.
+
+These demonstrate the registry's extension point with real command shapes.
+Each probes for its site CLI (``flux`` / ``qsub``); where the tool is absent
+— every CI container — ``available()`` is ``False`` and ``launch`` raises
+:class:`~repro.launch.LauncherUnavailable` carrying the exact command the
+launcher would have run, so the integration surface is testable without a
+batch system.
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+from typing import List
+
+from repro.launch import Launcher, LauncherUnavailable, ProcHandle, \
+    register_launcher
+
+
+class _StubLauncher(Launcher):
+    """Shared shape: compose the per-rank command, then refuse politely."""
+
+    tool = ""
+
+    @classmethod
+    def available(cls) -> bool:
+        return shutil.which(cls.tool) is not None
+
+    def command_for(self, job, rank: int) -> List[str]:  # pragma: no cover
+        raise NotImplementedError
+
+    def launch(self, job, rank: int) -> ProcHandle:
+        cmd = self.command_for(job, rank)
+        raise LauncherUnavailable(
+            f"{self.name} launcher is a stub (would run: {' '.join(cmd)}); "
+            f"install {self.tool!r} and subclass {type(self).__name__} with "
+            "a real ProcHandle to enable it"
+        )
+
+
+@register_launcher
+class FluxLauncher(_StubLauncher):
+    """`Flux <https://flux-framework.org>`_: hierarchical HPC scheduler."""
+
+    name = "flux"
+    tool = "flux"
+
+    def command_for(self, job, rank: int) -> List[str]:
+        return [
+            "flux", "run", "-n", "1", "--label-io",
+            sys.executable, "-m", "repro", "procs-worker",
+            "--job", f"{job.rundir}/job.pkl", "--rank", str(rank),
+        ]
+
+
+@register_launcher
+class PbsLauncher(_StubLauncher):
+    """PBS Pro / OpenPBS batch scheduler."""
+
+    name = "pbs"
+    aliases = ("qsub",)
+    tool = "qsub"
+
+    def command_for(self, job, rank: int) -> List[str]:
+        return [
+            "qsub", "-N", f"repro-r{rank}", "-l", "select=1:ncpus=1", "--",
+            sys.executable, "-m", "repro", "procs-worker",
+            "--job", f"{job.rundir}/job.pkl", "--rank", str(rank),
+        ]

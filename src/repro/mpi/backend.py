@@ -127,6 +127,10 @@ class MpiBackend:
         self.stats = stats if stats is not None else mux.stats
         self._posted: List[Tuple[int, int, int, Optional[np.ndarray], MpiRequest]] = []
         self._unexpected: List[Tuple[int, _Envelope, float]] = []
+        # Guards the matching queues: on real backends irecv (worker thread)
+        # races _on_delivery (delivery thread) on the same check-then-act.
+        # The executor's pluggable lock keeps the sim path lock-free.
+        self._qlock = mux.fabric.executor.lock_class()
         self._coll_seq = 0
         #: Recycles send-snapshot buffers (timing-neutral; wall-clock only).
         self.pool = BufferPool(stats=self.stats, module=channel)
@@ -191,14 +195,21 @@ class MpiBackend:
         if src != ANY_SOURCE:
             self._check_peer(src)
         req = MpiRequest("irecv")
-        # Check the unexpected queue first, in arrival order.
-        for i, (msrc, env, t) in enumerate(self._unexpected):
-            if self._matches(src, tag, comm, msrc, env):
-                del self._unexpected[i]
-                self._count("msgs_matched")
-                self._deliver_to(req, buffer, msrc, env, t)
-                return req
-        self._posted.append((src, tag, comm, buffer, req))
+        # Check the unexpected queue first, in arrival order. Match + remove
+        # (or post) happens atomically; the delivery itself runs unlocked.
+        matched = None
+        with self._qlock:
+            for i, (msrc, env, t) in enumerate(self._unexpected):
+                if self._matches(src, tag, comm, msrc, env):
+                    del self._unexpected[i]
+                    matched = (msrc, env, t)
+                    break
+            else:
+                self._posted.append((src, tag, comm, buffer, req))
+        if matched is not None:
+            msrc, env, t = matched
+            self._count("msgs_matched")
+            self._deliver_to(req, buffer, msrc, env, t)
         return req
 
     def _matches(self, want_src: int, want_tag: int, want_comm: int,
@@ -210,14 +221,21 @@ class MpiBackend:
         )
 
     def _on_delivery(self, src: int, env: _Envelope, time: float) -> None:
-        for i, (wsrc, wtag, wcomm, buffer, req) in enumerate(self._posted):
-            if self._matches(wsrc, wtag, wcomm, src, env):
-                del self._posted[i]
-                self._count("msgs_matched")
-                self._deliver_to(req, buffer, src, env, time)
-                return
+        matched = None
+        with self._qlock:
+            for i, (wsrc, wtag, wcomm, buffer, req) in enumerate(self._posted):
+                if self._matches(wsrc, wtag, wcomm, src, env):
+                    del self._posted[i]
+                    matched = (buffer, req)
+                    break
+            else:
+                self._unexpected.append((src, env, time))
+        if matched is not None:
+            buffer, req = matched
+            self._count("msgs_matched")
+            self._deliver_to(req, buffer, src, env, time)
+            return
         self._count("msgs_unexpected")
-        self._unexpected.append((src, env, time))
 
     def _count(self, op: str, n: int = 1) -> None:
         if self.stats is not None:

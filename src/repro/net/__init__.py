@@ -4,6 +4,7 @@ from repro.net.coalesce import ChannelCoalescer, CoalescedBatch, CoalescePolicy
 from repro.net.costmodel import NETWORKS, NetworkModel, network
 from repro.net.fabric import SimFabric
 from repro.net.mux import FabricMux
+from repro.net.procfabric import ProcFabric
 from repro.net.topology import (
     TOPOLOGIES,
     DragonflyTopology,
@@ -14,6 +15,7 @@ from repro.net.topology import (
 
 __all__ = [
     "NETWORKS", "NetworkModel", "network", "SimFabric", "FabricMux",
+    "ProcFabric",
     "ChannelCoalescer", "CoalescedBatch", "CoalescePolicy",
     "TOPOLOGIES", "DragonflyTopology", "FlatTopology", "Topology",
     "TorusTopology",

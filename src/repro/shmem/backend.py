@@ -81,6 +81,12 @@ class ShmemBackend:
         self._quiet_waiters: List[Promise] = []
         # Local-memory watchers: sym_id -> list of (probe, promise).
         self._watchers: Dict[int, List[Tuple[Callable[[], bool], Promise]]] = {}
+        # Guards _outstanding/_quiet_waiters/_watchers: on real backends the
+        # delivery path runs on a different OS thread than the issue path.
+        # The executor's pluggable lock keeps the sim hot path lock-free
+        # (NullLock) while the threaded/multiprocess engines get real mutual
+        # exclusion. Promises are always fired OUTSIDE the lock.
+        self._lock = mux.fabric.executor.lock_class()
         self.puts = 0
         self.gets = 0
         self.amos = 0
@@ -133,7 +139,8 @@ class ShmemBackend:
         self._check_bounds(target, offset, data.size, pe)
         self.puts += 1
         self._count("puts")
-        self._outstanding += 1
+        with self._lock:
+            self._outstanding += 1
         done = Promise(name="shmem-put")
         wire_data = self.pool.take_copy(data) if copy else data
         payload = ("put", target.sym_id, offset, wire_data, self.rank)
@@ -193,7 +200,8 @@ class ShmemBackend:
                        self.rank, req_id)
             self.mux.transmit(pe, _CHANNEL, payload, _AMO_SIZE)
         else:
-            self._outstanding += 1
+            with self._lock:
+                self._outstanding += 1
             payload = ("amo", op, target.sym_id, index, operand, cond,
                        self.rank, None)
             self.mux.transmit(
@@ -213,10 +221,12 @@ class ShmemBackend:
         # at issue time, so quiet cannot return before buffered ops land.
         self.mux.flush(_CHANNEL)
         done = Promise(name=f"quiet-pe{self.rank}")
-        if self._outstanding == 0:
+        with self._lock:
+            ready = self._outstanding == 0
+            if not ready:
+                self._quiet_waiters.append(done)
+        if ready:
             done.put(None)
-        else:
-            self._quiet_waiters.append(done)
         return done.get_future()
 
     @property
@@ -247,10 +257,16 @@ class ShmemBackend:
         def probe() -> bool:
             return bool(cmp_fn(arr[index], value))
 
-        if probe():
+        # Probe + register atomically: a delivery that lands between an
+        # unlocked probe and the append would never re-check this watcher
+        # (missed wakeup). Holding the lock, either we see the write, or the
+        # delivery's _check_watchers (serialized after us) sees our entry.
+        with self._lock:
+            fire = probe()
+            if not fire:
+                self._watchers.setdefault(sym.sym_id, []).append((probe, done))
+        if fire:
             done.put(None)
-        else:
-            self._watchers.setdefault(sym.sym_id, []).append((probe, done))
         return done.get_future()
 
     def local_update(self, sym: SymArray, index, value) -> None:
@@ -260,20 +276,21 @@ class ShmemBackend:
         self._check_watchers(sym.sym_id)
 
     def _check_watchers(self, sym_id: int) -> None:
-        watchers = self._watchers.get(sym_id)
-        if not watchers:
-            return
-        still = []
         fire = []
-        for probe, promise in watchers:
-            if probe():
-                fire.append(promise)
+        with self._lock:
+            watchers = self._watchers.get(sym_id)
+            if not watchers:
+                return
+            still = []
+            for probe, promise in watchers:
+                if probe():
+                    fire.append(promise)
+                else:
+                    still.append((probe, promise))
+            if still:
+                self._watchers[sym_id] = still
             else:
-                still.append((probe, promise))
-        if still:
-            self._watchers[sym_id] = still
-        else:
-            self._watchers.pop(sym_id, None)
+                self._watchers.pop(sym_id, None)
         for promise in fire:
             promise.put(None)
 
@@ -288,7 +305,7 @@ class ShmemBackend:
             arr[offset : offset + data.size] = (
                 data if data.ndim == 1 else data.reshape(-1))
             release_if_pooled(data)  # applied; recycle the snapshot storage
-            self._peers[origin]._remote_completed()
+            self._ack_completion(origin)
             self._check_watchers(sym_id)
         elif kind == "get":
             _, sym_id, offset, n, origin, req_id = payload
@@ -314,21 +331,36 @@ class ShmemBackend:
             if req_id is not None:
                 self.mux.transmit(origin, _CHANNEL, ("resp", req_id, old), _AMO_SIZE)
             else:
-                self._peers[origin]._remote_completed()
+                self._ack_completion(origin)
             self._check_watchers(sym_id)
         elif kind == "resp":
             _, req_id, value = payload
             promise = self._pending_resp.pop(req_id)
             promise.put(value)
+        elif kind == "comp":
+            # Remote-completion acknowledgement from a target PE (real
+            # multiprocess fabric; see ProcShmemBackend._ack_completion).
+            self._remote_completed()
         else:  # pragma: no cover - protocol corruption
             raise ShmemError(f"unknown shmem wire message kind {kind!r}")
 
+    def _ack_completion(self, origin: int) -> None:
+        """Tell ``origin`` that its put/AMO has been applied here.
+
+        In-process backends (sim, threads) reach straight into the origin's
+        backend object; the multiprocess backend overrides this with a wire
+        message because peers live in other OS processes.
+        """
+        self._peers[origin]._remote_completed()
+
     def _remote_completed(self) -> None:
-        self._outstanding -= 1
-        if self._outstanding == 0 and self._quiet_waiters:
-            waiters, self._quiet_waiters = self._quiet_waiters, []
-            for p in waiters:
-                p.put(None)
+        fire: List[Promise] = []
+        with self._lock:
+            self._outstanding -= 1
+            if self._outstanding == 0 and self._quiet_waiters:
+                fire, self._quiet_waiters = self._quiet_waiters, []
+        for p in fire:
+            p.put(None)
 
     # ------------------------------------------------------------------
     def _check_pe(self, pe: int) -> None:
@@ -352,3 +384,20 @@ class ShmemBackend:
             f"ShmemBackend(pe={self.rank}/{self.nranks}, puts={self.puts}, "
             f"gets={self.gets}, amos={self.amos}, outstanding={self._outstanding})"
         )
+
+
+class ProcShmemBackend(ShmemBackend):
+    """SHMEM backend over a real multiprocess fabric (one process per PE).
+
+    Identical protocol, except remote completions cannot be signalled by
+    calling into the origin's backend object — peers live in other OS
+    processes — so the target sends a small ``("comp",)`` acknowledgement
+    back over the fabric. ``quiet`` therefore drains only once every ack has
+    arrived, which is exactly the OpenSHMEM remote-completion contract.
+    """
+
+    def _ack_completion(self, origin: int) -> None:
+        if origin == self.rank:
+            self._remote_completed()
+            return
+        self.mux.transmit(origin, _CHANNEL, ("comp",), _CTRL_SIZE)

@@ -11,11 +11,72 @@ silently corrupts data in real SHMEM programs).
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.util.errors import ShmemError
+
+
+class SignatureTable:
+    """Cross-PE allocation-signature registry with atomic check-then-act.
+
+    One instance is shared by every rank of a run. ``register`` compares the
+    caller's ``(shape, dtype)`` against the first allocator's under a lock —
+    two PEs allocating the same ``sym_id`` concurrently can no longer both
+    observe "no signature yet" and skip the symmetry check. Signatures are
+    refcounted: ``retire`` (called by :meth:`SymmetricHeap.free`) drops the
+    entry once every registered PE has freed, so a stale signature cannot
+    false-pass (or false-fail) a later allocation that reuses the id.
+    """
+
+    def __init__(self, storage: Optional[Dict] = None):
+        #: sym_id -> (shape, dtype-str) of the first allocator. Accepting
+        #: caller-provided storage keeps the legacy shared-dict plumbing
+        #: (and its tests) working; all access goes through the lock here.
+        self._sigs: Dict[int, Tuple] = storage if storage is not None else {}
+        self._refs: Dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    def register(self, sym_id: int, sig: Tuple, rank: int) -> None:
+        with self._lock:
+            existing = self._sigs.get(sym_id)
+            if existing is None:
+                self._sigs[sym_id] = sig
+                self._refs[sym_id] = 1
+            elif existing != sig:
+                raise ShmemError(
+                    f"asymmetric allocation: PE {rank} allocated sym_id "
+                    f"{sym_id} as {sig} but another PE allocated {existing}; "
+                    "shmem allocations must be collective and identical"
+                )
+            else:
+                self._refs[sym_id] = self._refs.get(sym_id, 0) + 1
+
+    def retire(self, sym_id: int) -> None:
+        """One PE freed its allocation; drop the signature when the last
+        registrant retires so the id can be reused with a new shape."""
+        with self._lock:
+            n = self._refs.get(sym_id)
+            if n is None:
+                # Pre-registered entries (legacy dict storage) carry no
+                # refcount; retire them outright.
+                self._sigs.pop(sym_id, None)
+                return
+            if n <= 1:
+                del self._refs[sym_id]
+                self._sigs.pop(sym_id, None)
+            else:
+                self._refs[sym_id] = n - 1
+
+    def __contains__(self, sym_id: int) -> bool:
+        with self._lock:
+            return sym_id in self._sigs
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sigs)
 
 
 class SymArray:
@@ -50,9 +111,17 @@ class SymArray:
 
 
 class SymmetricHeap:
-    """Per-PE symmetric heap with cross-PE symmetry verification."""
+    """Per-PE symmetric heap with cross-PE symmetry verification.
 
-    def __init__(self, rank: int, shared_signatures: Optional[Dict] = None):
+    ``shared_signatures`` may be a :class:`SignatureTable` (preferred: one
+    table shared by every rank, with one lock) or a plain dict for legacy
+    callers — a dict is wrapped in a per-heap table over the shared storage.
+    ``arena`` optionally backs allocations with externally-managed storage
+    (the multiprocess backend passes a shared-memory arena so symmetric
+    arrays live in a ``multiprocessing.shared_memory`` segment).
+    """
+
+    def __init__(self, rank: int, shared_signatures=None, *, arena=None):
         self.rank = rank
         self._arrays: Dict[int, np.ndarray] = {}
         # Cached flattened views (zero-copy: symmetric arrays are contiguous,
@@ -60,25 +129,25 @@ class SymmetricHeap:
         # resolves (sym_id -> flat view) once per allocation, not per message.
         self._flat: Dict[int, np.ndarray] = {}
         self._next_id = 0
-        # Shared across all ranks of a run (same dict object): sym_id ->
-        # (shape, dtype-str) of the first allocator, for symmetry checks.
-        self._signatures = shared_signatures if shared_signatures is not None else {}
+        self._arena = arena
+        if isinstance(shared_signatures, SignatureTable):
+            self._signatures = shared_signatures
+        else:
+            self._signatures = SignatureTable(storage=shared_signatures)
 
     def allocate(self, shape, dtype=np.int64, fill: Any = 0) -> SymArray:
         """Collective symmetric allocation (call in the same order on all PEs)."""
-        arr = np.full(shape, fill, dtype=dtype)
+        if self._arena is not None:
+            proto = np.empty(shape, dtype=dtype)
+            arr = self._arena.allocate(proto.size * proto.itemsize,
+                                       dtype=proto.dtype).reshape(proto.shape)
+            arr[...] = fill
+        else:
+            arr = np.full(shape, fill, dtype=dtype)
         sym_id = self._next_id
         self._next_id += 1
         sig = (arr.shape, str(arr.dtype))
-        existing = self._signatures.get(sym_id)
-        if existing is None:
-            self._signatures[sym_id] = sig
-        elif existing != sig:
-            raise ShmemError(
-                f"asymmetric allocation: PE {self.rank} allocated sym_id "
-                f"{sym_id} as {sig} but another PE allocated {existing}; "
-                "shmem allocations must be collective and identical"
-            )
+        self._signatures.register(sym_id, sig, self.rank)
         self._arrays[sym_id] = arr
         return SymArray(sym_id, arr)
 
@@ -87,6 +156,7 @@ class SymmetricHeap:
             raise ShmemError(f"double free of sym_id {sym.sym_id} on PE {self.rank}")
         del self._arrays[sym.sym_id]
         self._flat.pop(sym.sym_id, None)
+        self._signatures.retire(sym.sym_id)
 
     def resolve(self, sym_id: int) -> np.ndarray:
         try:

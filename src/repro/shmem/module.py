@@ -28,8 +28,8 @@ from repro.net.coalesce import CoalescePolicy
 from repro.platform.place import PlaceType
 from repro.runtime.future import Future, Promise, when_all
 from repro.runtime.runtime import HiperRuntime
-from repro.shmem.backend import CMP_OPS, ShmemBackend
-from repro.shmem.heap import SymArray, SymmetricHeap
+from repro.shmem.backend import CMP_OPS, ProcShmemBackend, ShmemBackend
+from repro.shmem.heap import SignatureTable, SymArray, SymmetricHeap
 from repro.util.errors import ModuleError, ShmemError
 
 
@@ -66,10 +66,21 @@ class ShmemModule(HiperModule):
                 f"one worker's paths for funneled safety; found {len(owners)}"
             )
         self.runtime = runtime
-        sigs = self.ctx.shared.setdefault("shmem-alloc-signatures", {})
+        # One table per run: ranks in one process share the instance via the
+        # run's shared dict; multiprocess ranks each get their own (symmetry
+        # is then checked per-process, the real-SHMEM behaviour).
+        sigs = self.ctx.shared.setdefault(
+            "shmem-alloc-signatures", SignatureTable())
         peers = self.ctx.shared.setdefault("shmem-backends", {})
-        self.heap = SymmetricHeap(self.rank, shared_signatures=sigs)
-        self.backend = ShmemBackend(self.ctx.mux, self.rank, self.heap, peers)
+        self.heap = SymmetricHeap(self.rank, shared_signatures=sigs,
+                                  arena=self.ctx.shared.get("shmem-arena"))
+        # A process fabric (one OS process per rank) cannot signal remote
+        # completion by reaching into the peer's backend object; its backend
+        # subclass acks over the wire instead.
+        backend_cls = (ProcShmemBackend
+                       if getattr(self.ctx.fabric, "process_spmd", False)
+                       else ShmemBackend)
+        self.backend = backend_cls(self.ctx.mux, self.rank, self.heap, peers)
         if self.coalesce is not None:
             self.backend.enable_coalescing(self.coalesce)
         # Control channel for collectives (barrier/bcast/reduce algorithms).

@@ -23,10 +23,16 @@ Releases are idempotent and the pool never reuses storage before release, so
 late releases are safe and double releases are rejected. The pool does no
 virtual-time accounting at all: enabling it cannot change a simulated
 schedule, only the wall-clock cost of running it.
+
+The pool is thread-safe: on the threaded and multiprocess backends the
+receiver releases from a delivery thread while the sender acquires from a
+worker thread, so the free lists are guarded by a lock and ownership handoff
+in ``release()`` is a single atomic ``dict.pop``.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -35,22 +41,28 @@ import numpy as np
 class PooledArray(np.ndarray):
     """An ndarray view backed by pooled storage. Only the array returned by
     :meth:`BufferPool.take_copy` carries the pool reference; views derived
-    from it (reshape, slices) are plain arrays for release purposes."""
+    from it (reshape, slices) — and unpickled copies on the wire — are plain
+    arrays for release purposes."""
 
     def __array_finalize__(self, obj):
-        if not hasattr(self, "_pool"):
+        if "_pool" not in self.__dict__:
             self._pool = None
             self._raw = None
 
     def release(self) -> None:
         """Return the backing storage to its pool (idempotent on views,
-        rejected on double release of the owner)."""
-        pool = self._pool
+        rejected on double release of the owner).
+
+        Exactly one caller wins when two threads race a release: ownership
+        transfers via ``dict.pop``, atomic under the GIL."""
+        d = self.__dict__
+        pool = d.pop("_pool", None)
         if pool is None:
+            d["_pool"] = None  # keep the attribute present for later calls
             return
-        raw = self._raw
-        self._pool = None
-        self._raw = None
+        raw = d.get("_raw")
+        d["_raw"] = None
+        d["_pool"] = None
         pool._give_back(raw)
 
 
@@ -62,6 +74,9 @@ class BufferPool:
         if max_per_class < 1:
             raise ValueError(f"max_per_class must be >= 1, got {max_per_class}")
         self._free: Dict[int, List[np.ndarray]] = {}
+        # Guards the free lists and counters: acquire (worker thread) and
+        # release (delivery thread) race on real backends.
+        self._lock = threading.Lock()
         self.max_per_class = max_per_class
         self.stats = stats
         self.module = module
@@ -75,15 +90,18 @@ class BufferPool:
         shape and dtype. The caller owns it until ``release()``."""
         nbytes = int(data.nbytes)
         cls = 1 if nbytes == 0 else 1 << (nbytes - 1).bit_length()
-        free = self._free.get(cls)
-        if free:
-            raw = free.pop()
-            self.hits += 1
+        with self._lock:
+            free = self._free.get(cls)
+            raw = free.pop() if free else None
+            if raw is not None:
+                self.hits += 1
+            else:
+                self.misses += 1
+        if raw is not None:
             if self.stats is not None:
                 self.stats.count(self.module, "bufpool_hits")
         else:
             raw = np.empty(cls, dtype=np.uint8)
-            self.misses += 1
             if self.stats is not None:
                 self.stats.count(self.module, "bufpool_misses")
         # One array object straight over the pooled storage (equivalent to
@@ -96,12 +114,13 @@ class BufferPool:
         return view
 
     def _give_back(self, raw: np.ndarray) -> None:
-        self.released += 1
         if self.stats is not None:
             self.stats.count(self.module, "bufpool_released")
-        free = self._free.setdefault(raw.nbytes, [])
-        if len(free) < self.max_per_class:
-            free.append(raw)
+        with self._lock:
+            self.released += 1
+            free = self._free.setdefault(raw.nbytes, [])
+            if len(free) < self.max_per_class:
+                free.append(raw)
 
     # ------------------------------------------------------------------
     @property
@@ -111,7 +130,8 @@ class BufferPool:
 
     @property
     def free_buffers(self) -> int:
-        return sum(len(v) for v in self._free.values())
+        with self._lock:
+            return sum(len(v) for v in self._free.values())
 
     def __repr__(self) -> str:
         return (f"BufferPool(hits={self.hits}, misses={self.misses}, "

@@ -12,6 +12,10 @@ Three instruments over the shared scheduling policy core:
 - :mod:`repro.verify.differential` — sim ↔ threaded ↔ interleave runs of
   ISx/UTS/Graph500 workloads asserting result equality plus the quiesce
   conservation invariants (:mod:`repro.verify.invariants`).
+- :mod:`repro.verify.spmd_workloads` — the same workloads as SPMD programs
+  over the SHMEM module, digest-compatible with the single-runtime
+  versions, so the multiprocess backend (``--engines ... procs``) joins the
+  differential.
 """
 
 from repro.verify.differential import (
@@ -20,6 +24,10 @@ from repro.verify.differential import (
     differential,
     isx_coalescing_differential,
     run_on_engine,
+)
+from repro.verify.spmd_workloads import (
+    SPMD_WORKLOADS,
+    run_procs_workload,
 )
 from repro.verify.harness import (
     HuntOutcome,
@@ -50,6 +58,8 @@ __all__ = [
     "differential",
     "isx_coalescing_differential",
     "run_on_engine",
+    "SPMD_WORKLOADS",
+    "run_procs_workload",
     "HuntOutcome",
     "HuntResult",
     "hunt",

@@ -283,6 +283,26 @@ def isx_coalescing_differential(
     return rep
 
 
+def _run_on_procs(workload_name: str, *, workers: int, seed: int,
+                  nranks: int = 4) -> EngineRun:
+    """Run the SPMD twin of a workload on the multiprocess backend.
+
+    The SPMD workloads (:mod:`repro.verify.spmd_workloads`) are constructed
+    so their combined digest equals the single-runtime digest, which lets
+    the procs backend participate in the same comparison. Quiesce invariants
+    are checked per-child inside each rank's runtime, not here, so the
+    report carries an empty (trivially-ok) invariant set — mirroring
+    :func:`isx_coalescing_differential`.
+    """
+    from repro.verify.spmd_workloads import run_procs_workload
+
+    digest, _res = run_procs_workload(
+        workload_name, nranks=nranks, workers_per_rank=max(1, workers // 2),
+        seed=seed)
+    return EngineRun(engine="procs", result=digest,
+                     invariants=InvariantReport())
+
+
 def differential(
     workload_name: str,
     engines: Sequence[str] = ("sim", "threads"),
@@ -294,7 +314,9 @@ def differential(
     """Run one named workload on each engine; compare results + invariants.
 
     A *fresh* root body is built per engine (factories close over config
-    only, never over run state)."""
+    only, never over run state). The ``procs`` engine runs the workload's
+    SPMD twin across real OS processes; its digest is constructed to match
+    the single-runtime engines' digest bit-for-bit."""
     try:
         factory = WORKLOADS[workload_name]
     except KeyError:
@@ -303,6 +325,10 @@ def differential(
             f"choose from {sorted(WORKLOADS)}") from None
     rep = DifferentialReport(workload=workload_name)
     for engine in engines:
+        if engine == "procs":
+            rep.runs.append(_run_on_procs(
+                workload_name, workers=workers, seed=seed))
+            continue
         rep.runs.append(run_on_engine(
             factory(), engine, workers=workers, seed=seed, strategy=strategy))
     baseline = rep.runs[0]

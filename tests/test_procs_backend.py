@@ -1,0 +1,240 @@
+"""Multiprocess SPMD backend tests (ISSUE 6 tentpole).
+
+Covers the parent-side lifecycle discipline (no orphaned children, no
+leaked ``/dev/shm`` segments, stragglers terminated on timeout), the
+put/get/quiet round-trip over the real socket fabric + shared-memory heap,
+the pluggable launcher registry (including the batch-system stubs), and the
+sim ↔ procs digest differential on CI-sized workloads.
+"""
+
+import glob
+import multiprocessing
+import os
+import tempfile
+import time
+
+import numpy as np
+import pytest
+
+from repro.exec.procs import (
+    ProcessExecutor,
+    ProcsJob,
+    procs_run,
+    resolve_dotted,
+)
+from repro.launch import (
+    FluxLauncher,
+    Launcher,
+    LauncherUnavailable,
+    PbsLauncher,
+    available_launchers,
+    get_launcher,
+    register_launcher,
+)
+from repro.shmem.shared import leaked_segments
+from repro.util.errors import ConfigError, RuntimeStateError
+
+
+# ----------------------------------------------------------------------
+# rank mains (module-level so the fork launcher can ship them directly)
+# ----------------------------------------------------------------------
+def roundtrip_factory():
+    """Each rank puts its id into its right neighbor's window."""
+
+    def main(ctx):
+        sh = ctx.shmem
+        me, n = ctx.rank, ctx.nranks
+        buf = sh.malloc((4,), dtype=np.int64, fill=-1)
+        yield sh.barrier_all_async()
+        peer = (me + 1) % n
+        yield sh.put_async(buf, np.full(4, 100 + me, dtype=np.int64), peer)
+        yield sh.quiet_async()
+        yield sh.barrier_all_async()
+        got = np.asarray((yield sh.get_async(buf, me)))
+        return (me, int(got[0]), [int(x) for x in got])
+
+    return main
+
+
+def failing_factory():
+    """Rank 1 dies before the barrier; rank 0 stalls into its watchdog."""
+
+    def main(ctx):
+        sh = ctx.shmem
+        if ctx.rank == 1:
+            raise ValueError("injected rank failure")
+        yield sh.barrier_all_async()
+        return ctx.rank
+
+    return main
+
+
+def hanging_factory():
+    """Every rank wedges hard (the parent timeout must break the run)."""
+
+    def main(ctx):
+        time.sleep(300)
+        yield ctx.shmem.barrier_all_async()
+
+    return main
+
+
+def _new_children(before):
+    return [p for p in multiprocessing.active_children() if p not in before]
+
+
+# ----------------------------------------------------------------------
+# round-trip + lifecycle
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    def test_put_get_quiet_two_ranks(self):
+        res = procs_run(roundtrip_factory, nranks=2, timeout=60.0)
+        assert sorted(res.results) == [(0, 101, [101] * 4),
+                                       (1, 100, [100] * 4)]
+        assert res.nranks == 2
+        assert res.launcher == "local"
+        assert res.wall_time > 0
+
+    def test_counters_merged_across_ranks(self):
+        res = procs_run(roundtrip_factory, nranks=2, timeout=60.0)
+        assert any(key.startswith("shmem.") for key in res.counters), \
+            res.counters
+
+    def test_no_orphans_no_leaked_segments_no_rundir(self):
+        before = multiprocessing.active_children()
+        res = procs_run(roundtrip_factory, nranks=2, timeout=60.0)
+        assert _new_children(before) == []
+        assert leaked_segments(res.run_id) == []
+        assert glob.glob(os.path.join(
+            tempfile.gettempdir(), f"repro-procs-{res.run_id}-*")) == []
+
+
+class TestFailurePaths:
+    def test_rank_failure_surfaces_root_cause(self):
+        # Rank 0 stalls at the barrier rank 1 never reaches; the report must
+        # lead with the injected error, not the stranded peer's DeadlockError.
+        with pytest.raises(ConfigError, match="injected rank failure"):
+            procs_run(failing_factory, nranks=2, timeout=60.0,
+                      block_timeout=2.0)
+
+    def test_hang_hits_parent_timeout_and_terminates_stragglers(self):
+        before = multiprocessing.active_children()
+        with pytest.raises(RuntimeStateError, match="timed out"):
+            procs_run(hanging_factory, nranks=2, timeout=2.0,
+                      block_timeout=60.0)
+        deadline = time.monotonic() + 10.0
+        while _new_children(before) and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert _new_children(before) == []
+        assert leaked_segments() == []
+
+    def test_executor_refuses_reuse_after_shutdown(self):
+        ex = ProcessExecutor(2)
+        ex.shutdown()
+        ex.shutdown()  # idempotent
+        with pytest.raises(RuntimeStateError, match="after shutdown"):
+            ex.run(roundtrip_factory)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigError):
+            ProcessExecutor(0)
+        with pytest.raises(ConfigError):
+            ProcessExecutor(2, timeout=-1.0)
+
+
+# ----------------------------------------------------------------------
+# factories + launcher registry
+# ----------------------------------------------------------------------
+class TestFactoryResolution:
+    def test_resolve_dotted(self):
+        from repro.shmem import shmem_factory
+        assert resolve_dotted("repro.shmem:shmem_factory") is shmem_factory
+
+    def test_resolve_dotted_rejects_malformed(self):
+        with pytest.raises(ConfigError, match="pkg.mod:attr"):
+            resolve_dotted("repro.shmem.shmem_factory")
+
+    def test_resolve_dotted_rejects_missing_attr(self):
+        with pytest.raises(ConfigError, match="no attribute"):
+            resolve_dotted("repro.shmem:nope")
+
+    def test_resolve_modules_by_name_and_path(self):
+        job = ProcsJob(run_id="x", rundir="/tmp", nranks=1,
+                       factory=roundtrip_factory,
+                       modules=(("shmem", {}),
+                                ("repro.mpi:mpi_factory", {})))
+        mods = job.resolve_modules()
+        assert len(mods) == 2 and all(callable(m) for m in mods)
+
+
+class TestLauncherRegistry:
+    def test_builtins_available(self):
+        names = available_launchers()
+        assert "local" in names and "subprocess" in names
+
+    def test_unknown_launcher_lists_known(self):
+        with pytest.raises(ConfigError, match="known launchers"):
+            get_launcher("slurm-step")
+
+    def test_register_rejects_non_launcher(self):
+        with pytest.raises(ConfigError):
+            register_launcher(object)
+
+    def test_register_requires_name(self):
+        class Nameless(Launcher):
+            def launch(self, job, rank):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ConfigError, match="must set a name"):
+            register_launcher(Nameless)
+
+    @pytest.mark.parametrize("cls,tool", [(FluxLauncher, "flux"),
+                                          (PbsLauncher, "qsub")])
+    def test_stub_commands_target_the_worker_entry(self, cls, tool):
+        job = ProcsJob(run_id="x", rundir="/tmp/r", nranks=2,
+                       factory="repro.shmem:shmem_factory")
+        cmd = cls().command_for(job, 1)
+        assert tool in cmd[0]
+        assert "procs-worker" in cmd and "--rank" in cmd
+
+    def test_stub_launch_raises_with_command(self):
+        import shutil as _sh
+        if _sh.which("flux"):  # pragma: no cover - site with flux installed
+            pytest.skip("flux actually installed here")
+        job = ProcsJob(run_id="x", rundir="/tmp/r", nranks=1,
+                       factory="repro.shmem:shmem_factory")
+        with pytest.raises(LauncherUnavailable, match="would run"):
+            FluxLauncher().launch(job, 0)
+        with pytest.raises(LauncherUnavailable):
+            get_launcher("flux")
+
+    def test_pbs_alias(self):
+        assert PbsLauncher.matches("qsub")
+
+
+class TestSubprocessLauncher:
+    def test_roundtrip_over_command_line_children(self):
+        # Exercises job pickling + the `python -m repro procs-worker` entry.
+        from repro.verify.spmd_workloads import run_procs_workload
+        digest, res = run_procs_workload("uts", nranks=2,
+                                         launcher="subprocess", timeout=90.0)
+        assert digest == ("uts", 355)
+        assert res.launcher == "subprocess"
+        assert leaked_segments(res.run_id) == []
+
+
+# ----------------------------------------------------------------------
+# the differential: procs must match the single-runtime engines
+# ----------------------------------------------------------------------
+class TestProcsDifferential:
+    @pytest.mark.parametrize("workload", ["isx", "uts"])
+    def test_digest_matches_sim(self, workload):
+        from repro.verify import differential
+        rep = differential(workload, engines=("sim", "procs"))
+        assert rep.ok, rep.describe()
+        assert [r.engine for r in rep.runs] == ["sim", "procs"]
+
+    def test_graph500_digest_matches_sim(self):
+        from repro.verify import differential
+        rep = differential("graph500", engines=("sim", "procs"))
+        assert rep.ok, rep.describe()

@@ -1,0 +1,210 @@
+"""Regression tests for the shared-state races the multiprocess backend
+exposed (ISSUE 6 satellites).
+
+Before the fixes, two structures shared across rank threads did unlocked
+check-then-act:
+
+- ``SignatureTable`` (symmetric-heap symmetry registry): two PEs allocating
+  the same ``sym_id`` concurrently could both observe "no signature yet" and
+  skip the cross-PE shape check, letting an asymmetric allocation through
+  silently; stale signatures also outlived ``free``, poisoning id reuse.
+- ``BufferPool``: acquire (worker thread) and release (delivery thread)
+  raced on the free lists and ``hits``/``misses``/``released`` counters.
+
+Each test here drives the racy interleaving directly with barrier-
+synchronized threads and fails on the pre-fix code with high probability
+per iteration (and the loops run enough iterations to make a miss
+vanishingly unlikely).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.shmem.heap import SignatureTable, SymmetricHeap
+from repro.util.bufpool import BufferPool
+from repro.util.errors import ShmemError
+
+ITERS = 40
+
+
+# ----------------------------------------------------------------------
+# SignatureTable / SymmetricHeap
+# ----------------------------------------------------------------------
+class TestSignatureRace:
+    def test_concurrent_conflicting_register_exactly_one_wins(self):
+        """Pre-fix: both racers could pass the symmetry check (0 errors)."""
+        for _ in range(ITERS):
+            table = SignatureTable()
+            barrier = threading.Barrier(2)
+            errors = []
+
+            def racer(rank, sig):
+                barrier.wait()
+                try:
+                    table.register(0, sig, rank)
+                except ShmemError as exc:
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=racer, args=(0, ((8,), "int64"))),
+                threading.Thread(target=racer, args=(1, ((16,), "int64"))),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(errors) == 1, \
+                "conflicting concurrent allocations both passed the check"
+            assert "asymmetric allocation" in str(errors[0])
+
+    def test_concurrent_matching_register_both_pass(self):
+        for _ in range(ITERS):
+            table = SignatureTable()
+            barrier = threading.Barrier(2)
+            errors = []
+
+            def racer(rank):
+                barrier.wait()
+                try:
+                    table.register(0, ((8,), "int64"), rank)
+                except ShmemError as exc:  # pragma: no cover - the bug
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=racer, args=(r,))
+                       for r in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert errors == []
+
+    def test_free_retires_signature_for_id_reuse(self):
+        """Pre-fix: the signature outlived ``free``, so reallocating the
+        same sym_id with a new shape false-failed (or false-passed)."""
+        table = SignatureTable()
+        heaps = [SymmetricHeap(rank, table) for rank in range(2)]
+        arrs = [h.allocate((8,), dtype=np.int64) for h in heaps]
+        assert 0 in table
+        heaps[0].free(arrs[0])
+        assert 0 in table, "signature dropped while a PE still holds it"
+        heaps[1].free(arrs[1])
+        assert 0 not in table
+        # The id is reusable with a different shape now.
+        for h in heaps:
+            h._next_id = 0
+        out = [h.allocate((32,), dtype=np.float64) for h in heaps]
+        assert all(a.shape == (32,) for a in out)
+
+    def test_heap_level_asymmetric_allocate_detected_under_race(self):
+        for _ in range(ITERS):
+            table = SignatureTable()
+            heaps = [SymmetricHeap(rank, table) for rank in range(2)]
+            shapes = [(8,), (16,)]
+            barrier = threading.Barrier(2)
+            errors = []
+
+            def racer(rank):
+                barrier.wait()
+                try:
+                    heaps[rank].allocate(shapes[rank], dtype=np.int64)
+                except ShmemError as exc:
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=racer, args=(r,))
+                       for r in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(errors) == 1
+
+
+# ----------------------------------------------------------------------
+# BufferPool
+# ----------------------------------------------------------------------
+class TestBufferPoolThreaded:
+    def test_stress_counters_and_data_integrity(self):
+        """4 threads hammer take_copy/release; pre-fix code lost counter
+        updates and could hand one buffer to two takers."""
+        pool = BufferPool(max_per_class=8)
+        nthreads, per_thread = 4, 300
+        live_raws = set()
+        live_lock = threading.Lock()
+        failures = []
+        start = threading.Barrier(nthreads)
+
+        def worker(tid):
+            start.wait()
+            try:
+                for i in range(per_thread):
+                    data = np.full(1 + (i % 7), tid * 1000 + i,
+                                   dtype=np.int64)
+                    view = pool.take_copy(data)
+                    raw_id = id(view._raw)
+                    with live_lock:
+                        if raw_id in live_raws:
+                            failures.append(
+                                f"buffer handed out twice: {raw_id}")
+                        live_raws.add(raw_id)
+                    if not np.array_equal(view, data):
+                        failures.append(f"corrupted copy on thread {tid}")
+                    with live_lock:
+                        live_raws.discard(raw_id)
+                    view.release()
+            except Exception as exc:  # noqa: BLE001 - surface in the test
+                failures.append(repr(exc))
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(nthreads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = nthreads * per_thread
+        assert failures == []
+        assert pool.hits + pool.misses == total, \
+            "lost counter updates under contention"
+        assert pool.released == total
+        assert pool.free_buffers <= pool.max_per_class * 7
+
+    def test_release_race_gives_back_exactly_once(self):
+        """Two threads race ``release()`` on one owner view; ownership must
+        transfer exactly once (a double give-back would let the pool hand
+        the same storage to two subsequent takers)."""
+        for _ in range(ITERS):
+            pool = BufferPool(max_per_class=8)
+            view = pool.take_copy(np.arange(16, dtype=np.int64))
+            barrier = threading.Barrier(2)
+
+            def racer():
+                barrier.wait()
+                view.release()
+
+            threads = [threading.Thread(target=racer) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert pool.released == 1
+            assert pool.free_buffers == 1
+
+    def test_wire_copies_are_plain_arrays(self):
+        """Views derived from a pooled array (and pickled copies) must not
+        carry the pool reference — releasing them is a no-op."""
+        import pickle
+
+        pool = BufferPool(max_per_class=8)
+        view = pool.take_copy(np.arange(8, dtype=np.int64))
+        clone = pickle.loads(pickle.dumps(np.asarray(view)))
+        sub = view[2:4]
+        sub.release()
+        assert pool.released == 0
+        assert not hasattr(clone, "release") or clone.base is None
+        view.release()
+        assert pool.released == 1
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            BufferPool(max_per_class=0)
