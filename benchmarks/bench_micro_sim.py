@@ -1,0 +1,113 @@
+"""DES engine micro-benchmarks: raw event throughput of the simulated
+executor's two engines (``engine="objects"`` heapq vs. ``engine="flat"``
+slab + calendar queue — see ``docs/sim-internals.md``).
+
+Two workload shapes bracket what the fabric actually generates:
+
+- **wave storm** — many delivery waves outstanding at once, each wave one
+  timestamp carrying thousands of events (the 512/1024-rank ISx all-to-all
+  collapse shape). Producers mirror the production path: the objects engine's
+  ``call_at`` takes a thunk, so the fabric must allocate one closure per
+  delivery; the flat engine's ``call_at_batch`` prices the wave with one
+  shared function. This pair is the ledger's headline comparison — the flat
+  engine's reason to exist.
+- **random storm** — self-rearming timer chains at scattered timestamps
+  (polling services, timeouts, retries): all-singleton cohorts, the objects
+  engine's best case. The flat engine only has to hold parity here.
+
+Recorded to ``BENCH_sim.json`` via ``python -m repro bench-record --suite
+sim``. Real wall time (events/second of the Python implementation), not
+virtual time.
+"""
+
+import functools
+import random
+
+from repro.exec.sim import SimExecutor
+
+WAVES = 32
+PER_WAVE = 16384
+RANDOM_EVENTS = 150_000
+CHAINS = 64
+
+
+def _drain(ex):
+    while ex.pending_events():
+        ex._advance_events()
+
+
+def _wave_storm(engine):
+    """All waves outstanding up front: a deep queue of same-timestamp
+    cohorts, dispatched oldest-first."""
+    n_total = WAVES * PER_WAVE
+    sink = lambda i: None  # noqa: E731 - minimal callback, cost is the engine
+
+    def run():
+        ex = SimExecutor(engine=engine)
+        for w in range(WAVES):
+            t = 1e-6 * (w + 1)
+            if engine == "flat":
+                ex.call_at_batch([t] * PER_WAVE, sink, list(range(PER_WAVE)))
+            else:
+                for i in range(PER_WAVE):
+                    ex.call_at(t, functools.partial(sink, i))
+        _drain(ex)
+        assert ex.events_processed == n_total
+        # Release the slab between rounds: pytest-benchmark disables GC, so
+        # without the explicit shutdown each round's executor would pile up
+        # and later rounds would measure memory pressure, not the engine.
+        ex.shutdown()
+
+    return run, n_total
+
+
+def _random_storm(engine):
+    """Self-rearming timer chains: every cohort is a singleton."""
+
+    def run():
+        rng = random.Random(42)
+        ex = SimExecutor(engine=engine)
+        delays = [rng.random() for _ in range(RANDOM_EVENTS)]
+        state = {"i": 0}
+
+        def tick(arg=None):
+            i = state["i"]
+            if i < RANDOM_EVENTS:
+                state["i"] = i + 1
+                ex.call_later(delays[i], tick)
+
+        for _ in range(CHAINS):
+            i = state["i"]
+            state["i"] = i + 1
+            ex.call_later(delays[i], tick)
+        _drain(ex)
+        assert ex.events_processed == RANDOM_EVENTS
+        ex.shutdown()
+
+    return run
+
+
+def test_wave_storm_objects(benchmark):
+    run, n = _wave_storm("objects")
+    benchmark(run)
+    benchmark.extra_info["events_per_call"] = n
+    benchmark.extra_info["engine"] = "objects"
+
+
+def test_wave_storm_flat(benchmark):
+    run, n = _wave_storm("flat")
+    benchmark(run)
+    benchmark.extra_info["events_per_call"] = n
+    benchmark.extra_info["engine"] = "flat"
+
+
+def test_random_storm_objects(benchmark):
+    benchmark(_random_storm("objects"))
+    benchmark.extra_info["events_per_call"] = RANDOM_EVENTS
+    benchmark.extra_info["engine"] = "objects"
+
+
+def test_random_storm_flat(benchmark):
+    benchmark(_random_storm("flat"))
+    benchmark.extra_info["events_per_call"] = RANDOM_EVENTS
+    benchmark.extra_info["engine"] = "flat"

@@ -49,16 +49,18 @@ def _exchange(ctx, cfg: IsxConfig, grouped: np.ndarray, counts: np.ndarray,
     np.cumsum(counts, out=offsets[1:])
     # Pipeline the space reservations: fire every fetch-add, then collect —
     # the round trips overlap instead of serializing (as real ISx's
-    # nonblocking AMOs do).
-    reservations = []
+    # nonblocking AMOs do). The whole reservation sweep goes out as one
+    # wave, priced by the fabric in a single vectorized pass.
+    res_pes: List[int] = []
+    res_cnts: List[int] = []
     for k in range(n):
         pe = (me + k) % n  # stagger targets to avoid systematic hotspots
         cnt = int(counts[pe])
-        if cnt == 0:
-            continue
-        reservations.append(
-            (pe, cnt, sh.atomic_fetch_add_async(tail, cnt, pe))
-        )
+        if cnt:
+            res_pes.append(pe)
+            res_cnts.append(cnt)
+    reservations = list(zip(
+        res_pes, res_cnts, sh.atomic_fetch_add_wave(tail, res_cnts, res_pes)))
     puts: List[Future] = []
     for pe, cnt, fut in reservations:
         base = yield fut
@@ -171,15 +173,17 @@ def run_hiper(ctx, cfg: IsxConfig):
             grouped, counts = route_keys(cfg, n, keys[lo:hi])
             offs = np.zeros(n + 1, dtype=np.int64)
             np.cumsum(counts, out=offs[1:])
-            reservations = []
+            res_pes: List[int] = []
+            res_cnts: List[int] = []
             for k in range(n):
                 pe = (me + k) % n
                 cnt = int(counts[pe])
-                if cnt == 0:
-                    continue
-                reservations.append(
-                    (pe, cnt, sh.atomic_fetch_add_async(tail, cnt, pe))
-                )
+                if cnt:
+                    res_pes.append(pe)
+                    res_cnts.append(cnt)
+            reservations = list(zip(
+                res_pes, res_cnts,
+                sh.atomic_fetch_add_wave(tail, res_cnts, res_pes)))
             puts = []
             for pe, cnt, fut in reservations:
                 base = yield fut

@@ -34,51 +34,65 @@ import subprocess
 import sys
 import tempfile
 from datetime import datetime, timezone
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
-#: Default ledger path, relative to the repo root (committed).
-DEFAULT_LEDGER = "BENCH_scheduler.json"
-
-#: Default benchmark module, relative to the repo root.
-DEFAULT_BENCH_FILE = "benchmarks/bench_micro_runtime.py"
-
-#: The two fast micro-benches the CI perf-smoke job runs (seconds each, not
-#: minutes): the spawn/join storm exercises the full dispatch hot path and
-#: the future chain exercises promise/continuation machinery.
-FAST_BENCHES = (
-    "test_spawn_and_join_throughput_sim",
-    "test_future_chain_throughput_sim",
-)
-
-#: Benchmark suites: name -> (ledger, bench module, CI fast subset).
+#: Benchmark suites: name -> (ledger, bench module, CI fast subset). Every
+#: suite follows one convention — ledger ``BENCH_<suite>.json`` at the repo
+#: root, benchmark module under ``benchmarks/`` — and each ``fast`` subset is
+#: a comparison *pair* the CI perf-smoke job always records both sides of
+#: (the ledger's headline ratio stays computable from smoke entries alone).
 SUITES: Dict[str, Dict[str, Any]] = {
+    # spawn/join, steal, future machinery: the storm exercises the full
+    # dispatch hot path, the chain the promise/continuation machinery.
     "scheduler": {
-        "ledger": DEFAULT_LEDGER,
-        "bench_file": DEFAULT_BENCH_FILE,
-        "fast": FAST_BENCHES,
+        "bench_file": "benchmarks/bench_micro_runtime.py",
+        "fast": (
+            "test_spawn_and_join_throughput_sim",
+            "test_future_chain_throughput_sim",
+        ),
     },
+    # per-message vs. coalesced sends, polling sweeps, buffer-pool hit
+    # rates, ISx exchange end-to-end.
     "comm": {
-        "ledger": "BENCH_comm.json",
         "bench_file": "benchmarks/bench_micro_comm.py",
-        # The per-message/coalesced pair is the ledger's headline comparison,
-        # so the smoke subset always records both sides.
         "fast": (
             "test_small_put_per_message",
             "test_small_put_coalesced",
         ),
     },
+    # multiprocess SPMD backend end-to-end: 4 ranks must beat 1 rank (real
+    # parallel speedup across processes).
     "procs": {
-        "ledger": "BENCH_procs.json",
         "bench_file": "benchmarks/bench_procs.py",
-        # The 1-rank/4-rank ISx pair is the ledger's headline comparison:
-        # the 4-rank run must beat 1 rank (real parallel speedup across
-        # processes), so the smoke subset always records both sides.
         "fast": (
             "test_isx_procs_1rank",
             "test_isx_procs_4ranks",
         ),
     },
+    # DES engine core: the wave storm (deep queue, batched same-timestamp
+    # cohorts) is where the flat engine must beat the objects engine; the
+    # pair records both sides so the events/sec ratio is always in-ledger.
+    # Extra rounds because the ledger's headline is a *ratio* of two
+    # recordings taken seconds apart — more rounds average out load spikes
+    # that would otherwise skew one side.
+    "sim": {
+        "bench_file": "benchmarks/bench_micro_sim.py",
+        "fast": (
+            "test_wave_storm_objects",
+            "test_wave_storm_flat",
+        ),
+        "pytest_args": ("--benchmark-min-rounds=9",),
+    },
 }
+for _name, _cfg in SUITES.items():
+    _cfg.setdefault("ledger", f"BENCH_{_name}.json")
+    _cfg.setdefault("pytest_args", ())
+
+#: Back-compat aliases for the default ("scheduler") suite, derived from
+#: SUITES so a suite definition is stated exactly once.
+DEFAULT_LEDGER = SUITES["scheduler"]["ledger"]
+DEFAULT_BENCH_FILE = SUITES["scheduler"]["bench_file"]
+FAST_BENCHES = SUITES["scheduler"]["fast"]
 
 
 def repo_root() -> str:
@@ -153,6 +167,7 @@ def run_benchmarks(
     bench_file: str = DEFAULT_BENCH_FILE,
     keyword: Optional[str] = None,
     cwd: Optional[str] = None,
+    pytest_args: Sequence[str] = (),
 ) -> Dict[str, Any]:
     """Run ``bench_file`` under pytest-benchmark; return the raw JSON doc.
 
@@ -168,6 +183,7 @@ def run_benchmarks(
             "--benchmark-only", "--benchmark-disable-gc",
             f"--benchmark-json={tmp}",
         ]
+        cmd += list(pytest_args)
         if keyword:
             cmd += ["-k", keyword]
         env = dict(os.environ)
@@ -229,7 +245,8 @@ def record(
     bench_file = bench_file or cfg["bench_file"]
     if fast and keyword is None:
         keyword = " or ".join(cfg["fast"])
-    raw = run_benchmarks(bench_file, keyword=keyword, cwd=root)
+    raw = run_benchmarks(bench_file, keyword=keyword, cwd=root,
+                         pytest_args=cfg["pytest_args"])
     entry = {
         "label": label or ("perf-smoke" if fast else "bench-record"),
         "suite": suite,

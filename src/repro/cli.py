@@ -302,13 +302,17 @@ def cmd_profile(args) -> int:
     main_fn, cluster, factories = _profile_target(args.figure, args.scale)
     t0 = time.perf_counter()
     report = profile_spmd(main_fn, cluster, module_factories=factories,
-                          out_dir=args.out)
+                          out_dir=args.out, engine=args.engine)
     m = report.metrics
     print(f"profiled {args.figure} on {m['nranks']} ranks: "
           f"makespan {m['makespan'] * 1e3:.3f} ms (virtual), "
           f"utilization {m['utilization']:.1%}, "
           f"{m['trace_events']} trace events "
           f"({time.perf_counter() - t0:.1f}s wall)")
+    sim = m["sim"]
+    print(f"  {'engine':>10s}: {sim['engine']} — "
+          f"{sim['events_processed']} events, "
+          f"{sim['events_per_sec'] / 1e3:.0f}k events/s")
     for ch, rec in sorted(m["comm_volume"].items()):
         print(f"  {ch:>10s}: {int(rec['messages'])} msgs, "
               f"{int(rec['bytes'])} bytes")
@@ -377,7 +381,8 @@ def cmd_verify(args) -> int:
 
     from repro.tools.schedule import artifact_from_outcome, save_schedule
     from repro.verify import (WORKLOADS, differential,
-                              isx_coalescing_differential, replay_schedule,
+                              isx_coalescing_differential,
+                              isx_engine_differential, replay_schedule,
                               run_once)
     from repro.verify.strategies import STRATEGIES
 
@@ -466,6 +471,17 @@ def cmd_verify(args) -> int:
         rep = isx_coalescing_differential()
         mark = "OK  " if rep.ok else "FAIL"
         print(f"  diff:{'isx-coal':<9s}{mark} "
+              f"{'/'.join(r.engine for r in rep.runs)}")
+        if not rep.ok:
+            failures += 1
+            print("    " + rep.describe().replace("\n", "\n    "))
+
+        # 3c. engine differential: the same SPMD ISx run under the objects
+        #     and flat event engines must have bit-identical makespans and
+        #     per-rank digests (the flat engine's correctness gate).
+        rep = isx_engine_differential()
+        mark = "OK  " if rep.ok else "FAIL"
+        print(f"  diff:{'isx-eng':<9s}{mark} "
               f"{'/'.join(r.engine for r in rep.runs)}")
         if not rep.ok:
             failures += 1
@@ -582,13 +598,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="output directory for metrics.json / trace.json")
     prof.add_argument("--scale", type=float, default=1.0,
                       help="preset workload scale (1.0 = benchmark size)")
+    prof.add_argument("--engine", choices=["objects", "flat"],
+                      default="objects",
+                      help="DES event engine for the instrumented run")
     prof.set_defaults(fn=cmd_profile)
 
     br = sub.add_parser(
         "bench-record",
         help="run runtime micro-benchmarks; append ops/sec to the perf ledger")
+    from repro.bench.record import SUITES as _suites
     br.add_argument("--suite", default="scheduler",
-                    choices=["scheduler", "comm", "procs"],
+                    choices=sorted(_suites),
                     help="benchmark suite / ledger to record")
     br.add_argument("--out", default=None,
                     help="ledger path (default: the suite's ledger at the "
@@ -632,9 +652,11 @@ def build_parser() -> argparse.ArgumentParser:
     vf.add_argument("--planted", action="store_true",
                     help="hunt on the known-buggy fixture (expected to FAIL)")
     vf.add_argument("--engines", nargs="+", default=["sim", "threads"],
-                    choices=["sim", "threads", "interleave", "procs"],
-                    help="engines for the differential check (procs = "
-                         "multiprocess SPMD backend)")
+                    choices=["sim", "flat-sim", "threads", "interleave",
+                             "procs"],
+                    help="engines for the differential check (flat-sim = "
+                         "slab/calendar event engine, procs = multiprocess "
+                         "SPMD backend)")
     vf.add_argument("--skip-differential", action="store_true")
     vf.add_argument("--skip-selfcheck", action="store_true",
                     help="skip the planted-race detector self-check")

@@ -30,18 +30,22 @@ call stack; pathological nesting depth raises a diagnostic rather than a bare
 
 from __future__ import annotations
 
+import functools
 import heapq
 import itertools
 import sys
 from typing import Any, Callable, List, Optional, Set
 
+import numpy as np
+
 from repro.exec.base import Executor
+from repro.exec.eventq import FlatEventQueue
 from repro.runtime.context import ExecContext, _tls, current_context, scoped_context
 from repro.runtime.finish import FinishScope
 from repro.runtime.deques import NullLock
 from repro.runtime.future import Future, Promise
 from repro.runtime.runtime import HiperRuntime
-from repro.runtime.task import Task
+from repro.runtime.task import Task, TaskSlab, TaskState
 from repro.runtime.worker import WorkerState, find_task
 from repro.util.errors import (
     ConfigError,
@@ -69,15 +73,22 @@ class SimExecutor(Executor):
     MAX_HELP_DEPTH = 4000
 
     def __init__(self, *, trace: bool = False, task_overhead: float = 0.0,
-                 selection: str = "heap"):
+                 selection: str = "heap", engine: str = "objects"):
         """``task_overhead``: virtual seconds charged per task dispatch
         (models scheduler/dispatch cost; 0 by default, exercised by the
         runtime-overhead ablation bench). ``selection``: ``"heap"`` (default,
         O(log W) lazy-deletion heap) or ``"scan"`` (legacy O(W) min-scan,
-        kept to prove the two produce identical schedules)."""
+        kept to prove the two produce identical schedules). ``engine``:
+        ``"objects"`` (default; heapq of per-event records, per-task object
+        allocation) or ``"flat"`` (slab-allocated events in a calendar queue
+        plus recycled task records — see ``docs/sim-internals.md``; produces
+        bit-for-bit identical schedules, gated by the verify differential)."""
         if selection not in ("heap", "scan"):
             raise ConfigError(
                 f"selection must be 'heap' or 'scan', got {selection!r}")
+        if engine not in ("objects", "flat"):
+            raise ConfigError(
+                f"engine must be 'objects' or 'flat', got {engine!r}")
         self._runtimes: List[HiperRuntime] = []
         self._workers: List[WorkerState] = []
         # (runtime id) -> place_id -> (pop_cover: wid->WorkerState,
@@ -87,7 +98,22 @@ class SimExecutor(Executor):
         self._use_heap = selection == "heap"
         self._ready_heap: List = []  # (clock, rank, wid, seq, worker)
         self._wake_seq = itertools.count()
-        self._events: List = []  # heap of (time, seq, fn)
+        self.engine = engine
+        if engine == "flat":
+            # Slab-allocated calendar queue; same truthiness/len/clear
+            # protocol as the heap list, so _step/shutdown/repr are shared.
+            self._events: Any = FlatEventQueue()
+            self.call_later = self._call_later_flat  # type: ignore[method-assign]
+            self.call_at = self._call_at_flat  # type: ignore[method-assign]
+            self.call_at_batch = self._call_at_batch_flat  # type: ignore[method-assign]
+            self.cancel_event = self._cancel_event_flat  # type: ignore[method-assign]
+            self._advance_events = self._advance_events_flat  # type: ignore[method-assign]
+            self.task_slab = TaskSlab()
+            # Reusable bare dispatch context (now() == event floor): the
+            # flat advance path pushes/pops this one instance per batch.
+            self._bare_ctx = ExecContext(self)
+        else:
+            self._events = []  # heap of [time, seq, fn]; fn None == cancelled
         self._event_seq = itertools.count()
         self._event_floor = 0.0
         self._help_depth = 0
@@ -167,9 +193,25 @@ class SimExecutor(Executor):
 
     def shutdown(self) -> None:
         self._shutdown = True
-        self._events.clear()
         self._maybe_ready.clear()
         self._ready_heap.clear()
+        if self.engine == "flat":
+            # Break the reference cycles that keep a finished flat executor
+            # alive under refcounting alone: the engine bindings in the
+            # instance dict are bound methods (each holds ``self``) and the
+            # reusable dispatch context points back at the executor. Under
+            # ``gc.disable()`` — pytest-benchmark runs that way — an
+            # un-broken cycle pins the executor's entire event slab and
+            # task slab per instance. Dropping the slab wholesale is also
+            # cheaper than clear(), which reallocates at full capacity.
+            self._bare_ctx = None
+            for name in ("call_later", "call_at", "call_at_batch",
+                         "cancel_event", "_advance_events"):
+                self.__dict__.pop(name, None)
+            self._events = []
+            self.task_slab = TaskSlab()
+        else:
+            self._events.clear()
         self._restore_recursion_limit()
 
     def pending_events(self) -> int:
@@ -221,21 +263,93 @@ class SimExecutor(Executor):
                      next(self._wake_seq), worker),
                 )
 
-    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
-        if delay < 0:
-            raise ConfigError(f"call_later delay must be non-negative, got {delay}")
-        heapq.heappush(self._events, (self.now() + delay, next(self._event_seq), fn))
+    def call_later(self, delay: float, fn: Callable[[], None]) -> int:
+        """Schedule ``fn`` after ``delay`` virtual seconds; returns a handle
+        for :meth:`cancel_event`. Rejects negative and NaN delays — a NaN
+        would corrupt the heap invariant silently (every comparison against
+        it is False), scrambling event order downstream."""
+        if delay < 0 or delay != delay:
+            raise ConfigError(
+                f"call_later delay must be a non-negative number, got {delay}")
+        seq = next(self._event_seq)
+        heapq.heappush(self._events, [self.now() + delay, seq, fn])
+        return seq
 
-    def call_at(self, when: float, fn: Callable[[], None]) -> None:
-        """Schedule at an absolute virtual time (used by the network fabric).
+    def call_at(self, when: float, fn: Callable[[], None]) -> int:
+        """Schedule at an absolute virtual time (used by the network fabric);
+        returns a handle for :meth:`cancel_event`. Rejects NaN timestamps
+        (silent heap-order corruption, as in :meth:`call_later`).
 
         Clamped to the event floor, not zero: the floor only moves forward,
         and an event stamped in the virtual past would sort "before" events
         that have already been processed, silently reordering causality."""
+        if when != when:
+            raise ConfigError(f"call_at timestamp must not be NaN, got {when}")
+        seq = next(self._event_seq)
         heapq.heappush(
             self._events,
-            (max(when, self._event_floor), next(self._event_seq), fn),
+            [when if when > self._event_floor else self._event_floor, seq, fn],
         )
+        return seq
+
+    def call_at_batch(self, whens, fn: Callable[[Any], None], args) -> None:
+        """Schedule ``fn(args[i])`` at each ``whens[i]`` (floor-clamped like
+        :meth:`call_at`). One call prices a whole fabric wave; the flat
+        engine inserts it with a single vectorized slab append, this heap
+        fallback degenerates to per-event pushes. Internal fast path: no
+        NaN validation, no cancellation handles."""
+        events = self._events
+        floor = self._event_floor
+        seq = self._event_seq
+        push = heapq.heappush
+        if isinstance(whens, np.ndarray):
+            whens = whens.tolist()
+        for w, a in zip(whens, args):
+            push(events, [w if w > floor else floor, next(seq),
+                          functools.partial(fn, a)])
+
+    def cancel_event(self, handle: int) -> bool:
+        """Cancel a pending event by the handle ``call_later``/``call_at``
+        returned. Returns True if the event was still pending. Cancellation
+        is lazy on both engines: the record keeps its queue position with a
+        blanked callback and is skipped at dispatch, so an event of the
+        batch currently being dispatched is already out of reach."""
+        for entry in self._events:
+            if entry[1] == handle:
+                if entry[2] is None:
+                    return False
+                entry[2] = None
+                return True
+        return False
+
+    # Flat-engine variants, swapped in as instance attributes by __init__.
+
+    def _call_later_flat(self, delay: float, fn: Callable[[], None]) -> int:
+        if delay < 0 or delay != delay:
+            raise ConfigError(
+                f"call_later delay must be a non-negative number, got {delay}")
+        return self._events.push(self.now() + delay, fn)
+
+    def _call_at_flat(self, when: float, fn: Callable[[], None]) -> int:
+        if when != when:
+            raise ConfigError(f"call_at timestamp must not be NaN, got {when}")
+        return self._events.push(
+            when if when > self._event_floor else self._event_floor, fn)
+
+    def _call_at_batch_flat(self, whens, fn, args) -> None:
+        # Clamp to the event floor only when some timestamp is below it:
+        # waves are stamped at-or-after "now", so the common case is one
+        # min() instead of a per-event rewrite.
+        floor = self._event_floor
+        if isinstance(whens, np.ndarray):
+            if whens.size and float(whens.min()) < floor:
+                whens = np.maximum(whens, floor)
+        elif whens and min(whens) < floor:
+            whens = [w if w > floor else floor for w in whens]
+        self._events.push_batch(whens, fn, args)
+
+    def _cancel_event_flat(self, handle: int) -> bool:
+        return self._events.cancel(handle)
 
     # ------------------------------------------------------------------
     # fault injection (repro.resilience)
@@ -376,6 +490,13 @@ class SimExecutor(Executor):
         if self.trace:  # pragma: no cover - debugging aid
             print(f"[sim t={worker.clock:.9f}] r{worker.rank}w{worker.wid} run {task.describe()}")
         self.execute_task(worker.runtime, worker, task)
+        slab = self.task_slab
+        if slab is not None and (task.state is TaskState.DONE
+                                 or task.state is TaskState.FAILED):
+            # Flat engine: the record's lifetime provably ends here —
+            # suspended/re-enqueued tasks are still referenced by resumer
+            # closures or deques and stay out of the pool.
+            slab.release(task)
         # The task may have pushed follow-up work for this worker; notify()
         # covers cross-worker wakes but re-adding ourselves is cheap and keeps
         # the hot pop-path loop tight. (Usually still a member here — then
@@ -385,7 +506,8 @@ class SimExecutor(Executor):
             self._wake(worker)
 
     def _advance_events(self) -> None:
-        """Pop and run every event sharing the minimum timestamp."""
+        """Pop and run every event sharing the minimum timestamp (blanked —
+        cancelled — callbacks pop with their batch but are skipped)."""
         t0, _, fn = heapq.heappop(self._events)
         self._event_floor = max(self._event_floor, t0)
         batch = [fn]
@@ -394,8 +516,93 @@ class SimExecutor(Executor):
         ctx = ExecContext(self)  # bare context: now() == event floor
         with scoped_context(ctx):
             for fn in batch:
+                if fn is None:
+                    continue
                 fn()
                 self.events_processed += 1
+
+    def _advance_events_flat(self) -> None:
+        """Flat-engine advance: one calendar pop surfaces the whole
+        equal-timestamp cohort as raw slab slots, and dispatch runs straight
+        off the slab columns — no per-event materialization.  Singleton
+        cohorts snapshot their one record and release it up front; larger
+        cohorts stay resident on the queue's in-flight stack until done, so
+        concurrent pushes cannot recycle their slots and cancel_event treats
+        them as already-run (the same reach the objects engine gives its
+        materialized batch).
+
+        The bare dispatch context (now() == event floor) is one reusable
+        instance, and the context-stack push/pop is inlined: this wraps
+        every virtual-time advance, and on singleton batches the CM overhead
+        was a measurable share of the engine loop."""
+        q = self._events
+        t0, slots = q.pop_batch()
+        if t0 > self._event_floor:
+            self._event_floor = t0
+        fns_l, args_l = q.fns, q.args
+        if len(slots) == 1:
+            # Singleton cohort (timer chains): snapshot-and-release is
+            # cheaper than the in-flight protocol. The release is inlined
+            # (kind 0 == free, clear payload, pool the slot) — a method
+            # call per timer event is measurable at storm rates.
+            slot = slots[0]
+            fn = fns_l[slot]
+            arg = args_l[slot]
+            q._kind[slot] = 0
+            fns_l[slot] = None
+            args_l[slot] = None
+            q._free.append(slot)
+            if fn is None:
+                return
+            stack = _tls.stack
+            stack.append(self._bare_ctx)
+            try:
+                if arg is None:
+                    fn()
+                else:
+                    fn(arg)
+                self.events_processed += 1
+            finally:
+                stack.pop()
+            return
+        n = 0
+        stack = _tls.stack
+        stack.append(self._bare_ctx)
+        q.inflight.append(slots)
+        epoch = q.epoch
+        try:
+            if type(slots) is range:
+                # Contiguous cohort: iterate the payload columns by slice —
+                # zip of two list slices beats per-slot indexed loads. The
+                # slices are snapshots, which is exactly the semantics the
+                # objects engine gives its materialized batch (a cancel
+                # landing mid-dispatch is too late either way).
+                for fn, arg in zip(fns_l[slots.start:slots.stop],
+                                   args_l[slots.start:slots.stop]):
+                    if fn is None:
+                        continue
+                    if arg is None:
+                        fn()
+                    else:
+                        fn(arg)
+                    n += 1
+            else:
+                for s in slots:
+                    fn = fns_l[s]
+                    if fn is None:
+                        continue
+                    arg = args_l[s]
+                    if arg is None:
+                        fn()
+                    else:
+                        fn(arg)
+                    n += 1
+        finally:
+            q.inflight.pop()
+            if q.epoch == epoch:
+                q.release_batch(slots)
+            stack.pop()
+            self.events_processed += n
 
     def on_task_start(self, worker: WorkerState, task: Task) -> None:
         # task.cost is the body's total compute: charge it on the FIRST

@@ -16,7 +16,9 @@ Guarantees:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.exec.sim import SimExecutor
 from repro.net.costmodel import NetworkModel
@@ -45,6 +47,13 @@ class CorruptedPayload:
 
     def __repr__(self) -> str:
         return f"CorruptedPayload({self.original!r})"
+
+
+def _deliver_wave(item: tuple) -> None:
+    """Delivery trampoline for :meth:`SimFabric.transmit_wave` — one shared
+    function for the whole wave instead of one closure per message."""
+    sink, src, payload, delivery = item
+    sink(src, payload, delivery)
 
 
 class SimFabric:
@@ -223,6 +232,150 @@ class SimFabric:
             payload = CorruptedPayload(payload)
         self.executor.call_at(delivery, lambda: sink(src, payload, delivery))
         return inject_done
+
+    # ------------------------------------------------------------------
+    def transmit_wave(
+        self,
+        src: int,
+        dsts: Sequence[int],
+        nbytes,
+        payloads: Sequence[Any],
+        *,
+        ts: Optional[Sequence[float]] = None,
+    ) -> List[float]:
+        """Price and post a whole wave of messages from ``src`` in one call.
+
+        Semantically a loop of :meth:`transmit` over ``(dsts[i], nbytes[i],
+        payloads[i])`` issued at times ``ts[i]`` (default: ``executor.now()``
+        for every message) — and *bit-for-bit* so: the per-message costs come
+        from the same IEEE operations in the same order, the sequential NIC
+        availability and pairwise-FIFO recurrences run per message, and the
+        delivery events are posted in loop order so same-timestamp cohorts
+        dispatch identically. What the wave saves is the per-message call
+        chain: one pass computes vectorized serialization costs (``nbytes``
+        may be a scalar or an array), and all deliveries are posted with a
+        single ``call_at_batch``.
+
+        Fault injection is inherently per-message (verdicts feed retry
+        state), so waves refuse to run with a ``fault_hook`` installed —
+        callers check :meth:`FabricMux.wave_capable` and fall back to the
+        scalar loop. Returns the per-message injection-complete times.
+        """
+        if self.fault_hook is not None:
+            raise CommError(
+                "transmit_wave does not support fault injection; check "
+                "wave_capable() and fall back to per-message transmit")
+        self._check_rank(src)
+        n = len(dsts)
+        if len(payloads) != n:
+            raise CommError(
+                f"wave length mismatch: {n} destinations, "
+                f"{len(payloads)} payloads")
+        net = self.network
+        if np.isscalar(nbytes):
+            if nbytes < 0:
+                raise CommError(f"negative message size {nbytes}")
+            if (self.max_message_bytes is not None
+                    and nbytes > self.max_message_bytes):
+                raise CommError(
+                    f"message of {nbytes} bytes exceeds fabric limit of "
+                    f"{self.max_message_bytes} bytes (fragment it)")
+            # Constant wire size: the scalar costs are shared by every
+            # message (same inputs -> same floats as per-message calls).
+            ser_all = net.serialization_time(nbytes)
+            intra_all = net.intra_node_time(nbytes)
+            sizes = [nbytes] * n
+            sers = intras = None
+            total_bytes = nbytes * n
+        else:
+            sizes = [int(b) for b in nbytes]
+            for b in sizes:
+                if b < 0:
+                    raise CommError(f"negative message size {b}")
+                if (self.max_message_bytes is not None
+                        and b > self.max_message_bytes):
+                    raise CommError(
+                        f"message of {b} bytes exceeds fabric limit of "
+                        f"{self.max_message_bytes} bytes (fragment it)")
+            arr = np.asarray(sizes, dtype=np.float64)
+            sers = net.serialization_time_vec(arr).tolist()
+            intras = net.intra_node_time_vec(arr).tolist()
+            ser_all = intra_all = 0.0
+            total_bytes = sum(sizes)
+        if ts is None:
+            t_now = self.executor.now()
+            ts = [t_now] * n
+
+        rpn = self.ranks_per_node
+        s_node = src // rpn
+        lat = net.latency
+        topo = self.topology
+        tx_avail = self._tx_avail
+        rx_avail = self._rx_avail
+        pair_last = self._pair_last
+        sinks = self._sinks
+        nranks = self.nranks
+        tracer = self.executor.tracer
+        self.last_fault = None
+
+        injects: List[float] = []
+        deliveries: List[float] = []
+        items: List[tuple] = []
+        for i in range(n):
+            dst = dsts[i]
+            if not (0 <= dst < nranks):
+                raise CommError(f"rank {dst} out of range [0, {nranks})")
+            t = ts[i]
+            payload = payloads[i]
+            if sers is None:
+                ser = ser_all
+                intra = intra_all
+            else:
+                ser = sers[i]
+                intra = intras[i]
+            if src == dst:
+                inject_done = t
+                delivery = t
+            elif dst // rpn == s_node:
+                inject_done = t + intra
+                delivery = inject_done
+            else:
+                avail = tx_avail[s_node]
+                tx_start = avail if avail > t else t
+                tx_avail[s_node] = inject_done = tx_start + ser
+                d_node = dst // rpn
+                arrival = inject_done + lat + topo.extra_latency(s_node, d_node)
+                avail = rx_avail[d_node]
+                rx_start = avail if avail > arrival else arrival
+                rx_avail[d_node] = delivery = rx_start + ser
+
+            sink = sinks.get(dst)
+            if sink is None:
+                raise CommError(
+                    f"rank {dst} has no registered message sink; was its "
+                    "communication backend initialized?"
+                )
+            key = src * nranks + dst
+            prev = pair_last.get(key, 0.0)
+            if prev > delivery:
+                delivery = prev
+            pair_last[key] = delivery
+            if tracer is not None:
+                channel = (
+                    payload[0]
+                    if isinstance(payload, tuple) and payload
+                    and isinstance(payload[0], str)
+                    else "net"
+                )
+                tracer.record_message(src, dst, channel, sizes[i], t, delivery)
+            injects.append(inject_done)
+            deliveries.append(delivery)
+            items.append((sink, src, payload, delivery))
+
+        self.messages_sent += n
+        self.bytes_sent += total_bytes
+        self.executor.call_at_batch(deliveries, _deliver_wave, items)
+        return injects
 
     # ------------------------------------------------------------------
     def cpu_send_overhead(self) -> float:

@@ -161,6 +161,55 @@ class FabricMux:
         return self._transmit_attempt(dst, channel, payload, nbytes,
                                       on_injected, 0)
 
+    def wave_capable(self, channel: str) -> bool:
+        """True when sends on ``channel`` can use :meth:`transmit_wave`:
+        the channel is registered without a coalescer (waves are already
+        batches; buffering them per-destination would double-batch), the
+        fabric prices waves, and no fault hook is installed (verdicts feed
+        per-message retry state). Callers that fall back to a per-message
+        loop get bit-identical schedules — the wave is an amortization of
+        Python-level call overhead, not a timing change."""
+        return (
+            channel in self._handlers
+            and channel not in self._coalescers
+            and self.fabric.fault_hook is None
+            and hasattr(self.fabric, "transmit_wave")
+        )
+
+    def transmit_wave(
+        self,
+        dsts: List[int],
+        channel: str,
+        payloads: List[Any],
+        nbytes,
+        *,
+        ts: Optional[List[float]] = None,
+    ) -> List[float]:
+        """Send one message per ``(dsts[i], payloads[i])`` as a priced wave
+        (see :meth:`SimFabric.transmit_wave`). ``nbytes`` is a scalar wire
+        size shared by every message or a per-message sequence; ``ts`` gives
+        per-message issue times (callers that charge CPU per message pass
+        the post-charge timestamps). Only valid when :meth:`wave_capable`
+        holds for ``channel``."""
+        if channel not in self._handlers:
+            raise CommError(
+                f"rank {self.rank} sending on unregistered channel {channel!r}"
+            )
+        n = len(dsts)
+        if self.stats is not None:
+            self.stats.count(channel, "msgs_sent", n)
+            if isinstance(nbytes, (list, tuple)):
+                self.stats.count(channel, "bytes_sent", sum(nbytes))
+                for b in nbytes:
+                    self.stats.observe(channel, "msg_size", b)
+            else:
+                self.stats.count(channel, "bytes_sent", nbytes * n)
+                for _ in range(n):
+                    self.stats.observe(channel, "msg_size", nbytes)
+        wrapped = [(channel, p) for p in payloads]
+        return self.fabric.transmit_wave(self.rank, dsts, nbytes, wrapped,
+                                         ts=ts)
+
     def _transmit_attempt(
         self, dst: int, channel: str, payload: Any, nbytes: int,
         on_injected: Optional[Callable[[float], None]], attempt: int,

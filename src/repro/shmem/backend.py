@@ -210,6 +210,51 @@ class ShmemBackend:
             )
         return done.get_future()
 
+    def wave_capable(self) -> bool:
+        """True when this PE's AMO/put path can take the vectorized wave
+        route (no coalescer on the shmem channel, wave-pricing fabric, no
+        fault injection)."""
+        return self.mux.wave_capable(_CHANNEL)
+
+    def amo_fetch_wave(self, op: str, target: SymArray, index: int,
+                       pes: List[int], operands: List[Any]) -> List[Future]:
+        """Issue one *fetching* AMO per ``(pes[i], operands[i])`` pair, priced
+        as a single fabric wave.
+
+        Bit-for-bit identical to the equivalent loop of :meth:`amo` calls
+        with ``fetch=True`` — same per-op CPU charges (and therefore the
+        same post-charge issue timestamps), request ids, promises, payloads,
+        and delivery events in the same order. Callers must check
+        :meth:`wave_capable` first and fall back to the scalar loop.
+        """
+        if op not in ("add", "inc", "swap", "cswap", "set"):
+            raise ShmemError(f"unknown atomic op {op!r}")
+        n = len(pes)
+        if len(operands) != n:
+            raise ShmemError(
+                f"amo wave length mismatch: {n} PEs, {len(operands)} operands")
+        for pe in pes:
+            self._check_pe(pe)
+            self._check_bounds(target, index, 1, pe)
+        self.amos += n
+        self._count("amos", n)
+        ts = self._charge_cpu_wave(n)
+        sym_id = target.sym_id
+        rank = self.rank
+        pending = self._pending_resp
+        req_seq = self._req_seq
+        futures: List[Future] = []
+        payloads: List[Tuple] = []
+        for pe, operand in zip(pes, operands):
+            done = Promise(name=f"amo-{op}-{sym_id}@{pe}")
+            req_id = next(req_seq)
+            pending[req_id] = done
+            payloads.append(("amo", op, sym_id, index, operand, None,
+                             rank, req_id))
+            futures.append(done.get_future())
+        self.mux.transmit_wave(pes, _CHANNEL, payloads, _AMO_SIZE, ts=ts)
+        return futures
+
     # ------------------------------------------------------------------
     # ordering
     # ------------------------------------------------------------------
@@ -378,6 +423,32 @@ class ShmemBackend:
         ctx = current_context()
         if ctx is not None and ctx.worker is not None:
             ctx.executor.charge(self.mux.fabric.cpu_send_overhead())
+
+    def _charge_cpu_wave(self, n: int) -> List[float]:
+        """Charge ``n`` per-message CPU overheads and return the ``n``
+        post-charge clock values — the issue timestamps a loop of
+        :meth:`_charge_cpu` + transmit pairs would have produced. The clock
+        advances by the same left-fold of additions the scalar loop
+        performs, so the timestamps (and the final clock) are bit-exact.
+        Outside a worker context charges are skipped, as in
+        :meth:`_charge_cpu`, and ``now()`` is returned for every slot."""
+        ctx = current_context()
+        if ctx is None or ctx.worker is None:
+            return [self.mux.fabric.executor.now()] * n
+        ov = self.mux.fabric.cpu_send_overhead()
+        worker = ctx.worker
+        runtime = ctx.runtime
+        stats = runtime.stats if runtime is not None else None
+        clock = worker.clock
+        ts: List[float] = []
+        append = ts.append
+        for _ in range(n):
+            clock = clock + ov
+            append(clock)
+            if stats is not None:
+                stats.worker_activity(worker.wid, busy=ov)
+        worker.clock = clock
+        return ts
 
     def __repr__(self) -> str:
         return (

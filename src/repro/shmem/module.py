@@ -195,6 +195,24 @@ class ShmemModule(HiperModule):
             lambda: b.amo("add", target, index, pe, operand=value), "fadd"
         )
 
+    def atomic_fetch_add_wave(self, target: SymArray, values: Sequence[Any],
+                              pes: Sequence[int], index: int = 0) -> List[Future]:
+        """Issue one fetch-add per ``(pes[i], values[i])`` pair — an
+        all-to-all reservation wave — priced by the fabric in one vectorized
+        pass when the path supports it (direct mode, no coalescing, no fault
+        injection). Otherwise falls back to a loop of
+        :meth:`atomic_fetch_add_async`; schedules are bit-identical either
+        way, the wave only amortizes per-message Python overhead."""
+        b = self._backend()
+        if self.direct and b.wave_capable():
+            rt = self.runtime
+            assert rt is not None
+            rt.stats.count(self.name, "fadd", len(pes))
+            return b.amo_fetch_wave("add", target, index, list(pes),
+                                    list(values))
+        return [self.atomic_fetch_add_async(target, v, pe, index)
+                for pe, v in zip(pes, values)]
+
     def atomic_fetch_inc(self, target: SymArray, pe: int, index: int = 0) -> Any:
         return self.atomic_fetch_inc_async(target, pe, index).wait()
 

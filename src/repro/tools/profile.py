@@ -26,6 +26,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import time
 from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.exec.sim import SimExecutor
@@ -94,6 +95,7 @@ def profile_spmd(
     sample_period: float = 1e-4,
     max_samples: int = 2048,
     max_events: int = 1_000_000,
+    engine: str = "objects",
 ) -> ProfileReport:
     """Run ``main`` under full instrumentation; optionally write artifacts.
 
@@ -104,7 +106,7 @@ def profile_spmd(
     from repro.distrib.spmd import ClusterConfig, spmd_run
 
     cfg = config or ClusterConfig()
-    ex = SimExecutor(task_overhead=cfg.task_overhead)
+    ex = SimExecutor(task_overhead=cfg.task_overhead, engine=engine)
     tracer = TraceRecorder(max_events=max_events)
     ex.attach_tracer(tracer)
 
@@ -112,7 +114,9 @@ def profile_spmd(
     factories.append(
         telemetry_factory(period=sample_period, max_samples=max_samples)
     )
+    t0 = time.perf_counter()
     result = spmd_run(main, cfg, module_factories=factories, executor=ex)
+    wall = time.perf_counter() - t0
 
     merged = result.merged_stats()
     metrics: Dict[str, Any] = {
@@ -123,6 +127,14 @@ def profile_spmd(
         "comm_volume": tracer.comm_volume(),
         "trace_events": len(tracer.events),
         "trace_dropped": tracer.dropped,
+        # DES-engine throughput: whole-run average over the spmd_run wall
+        # time (the per-tick instantaneous rate is in the sampler's
+        # ``events_per_sec`` series / ``sim.*`` gauges).
+        "sim": {
+            "engine": ex.engine,
+            "events_processed": ex.events_processed,
+            "events_per_sec": ex.events_processed / wall if wall > 0 else 0.0,
+        },
         "stats": merged.to_dict(),
     }
 

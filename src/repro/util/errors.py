@@ -14,8 +14,13 @@ class HiperError(Exception):
     """Base class for all errors raised by the pyhiper framework."""
 
 
-class ConfigError(HiperError):
-    """An invalid runtime, platform, or module configuration was supplied."""
+class ConfigError(HiperError, ValueError):
+    """An invalid runtime, platform, or module configuration was supplied.
+
+    Also a :class:`ValueError`: bad argument *values* (negative delays, NaN
+    timestamps, out-of-range ids) raise ConfigError, and callers written
+    against the stdlib convention (``except ValueError``) must catch them.
+    """
 
 
 class PlatformError(HiperError):

@@ -23,6 +23,7 @@ across ranks via :meth:`RuntimeStats.merge` (cluster-wide reports,
 from __future__ import annotations
 
 import dataclasses
+import time
 from collections import defaultdict
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -250,7 +251,17 @@ class TelemetrySampler:
     - ``pop_rate`` / ``steal_rate`` — deque pops/steals per second since the
       previous tick,
     - ``idle_fraction`` — mean per-worker idle fraction (virtual clocks under
-      the simulated executor; charged busy/idle accounting otherwise).
+      the simulated executor; charged busy/idle accounting otherwise),
+    - ``events_per_sec`` — engine events dispatched per *wall-clock* second
+      since the previous tick (the DES engine's real throughput — the number
+      the flat engine exists to raise; 0 on executors without an
+      ``events_processed`` counter and on the baseline first tick).
+
+    The two DES-engine observables are also published as gauges under the
+    ``sim`` module — ``sim.events_per_sec`` (last tick's rate; cross-rank
+    merge keeps the max) and ``sim.event_queue_depth`` — so they show up in
+    ``RuntimeStats.report()`` / ``metrics.json`` gauge sections without
+    walking the series.
 
     Ticks ride the executor's ``call_later`` facility, so sampling is on
     virtual time under :class:`~repro.exec.sim.SimExecutor` and on wall time
@@ -271,6 +282,8 @@ class TelemetrySampler:
         self._stopped = False
         self._last_pops = 0
         self._last_steals = 0
+        self._last_events = 0
+        self._last_wall: Optional[float] = None
 
     def start(self) -> None:
         """Take one sample immediately, then tick every ``period``.
@@ -302,6 +315,17 @@ class TelemetrySampler:
         steal_rate = (steals - self._last_steals) / self.period
         self._last_pops, self._last_steals = pops, steals
 
+        # Engine throughput is a wall-clock rate on purpose: virtual time is
+        # workload-defined, so events per *virtual* second says nothing about
+        # how fast the engine itself runs.
+        events = getattr(ex, "events_processed", 0)
+        wall = time.perf_counter()
+        if self._last_wall is not None and wall > self._last_wall:
+            events_per_sec = (events - self._last_events) / (wall - self._last_wall)
+        else:
+            events_per_sec = 0.0
+        self._last_events, self._last_wall = events, wall
+
         idle = self._idle_fraction(t)
 
         stats.sample("ready_tasks", t, float(ready))
@@ -309,8 +333,14 @@ class TelemetrySampler:
         stats.sample("pop_rate", t, pop_rate)
         stats.sample("steal_rate", t, steal_rate)
         stats.sample("idle_fraction", t, idle)
+        stats.sample("events_per_sec", t, events_per_sec)
+        stats.gauge("sim", "events_per_sec", events_per_sec)
+        stats.gauge("sim", "event_queue_depth", float(pending))
         if self.tracer is not None:
             self.tracer.record_counter(rt.rank, "ready_tasks", t, float(ready))
+            self.tracer.record_counter(rt.rank, "event_queue", t, float(pending))
+            self.tracer.record_counter(rt.rank, "events_per_sec", t,
+                                       events_per_sec)
             self.tracer.record_counter(rt.rank, "utilization", t,
                                        max(0.0, 1.0 - idle))
         self.samples_taken += 1

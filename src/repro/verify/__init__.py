@@ -23,6 +23,7 @@ from repro.verify.differential import (
     WORKLOADS,
     differential,
     isx_coalescing_differential,
+    isx_engine_differential,
     run_on_engine,
 )
 from repro.verify.spmd_workloads import (
@@ -57,6 +58,7 @@ __all__ = [
     "WORKLOADS",
     "differential",
     "isx_coalescing_differential",
+    "isx_engine_differential",
     "run_on_engine",
     "SPMD_WORKLOADS",
     "run_procs_workload",

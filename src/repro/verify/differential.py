@@ -172,6 +172,11 @@ def make_engine(name: str, *, seed: int = 0, strategy: str = "random",
                 block_timeout: float = 60.0):
     if name == "sim":
         return SimExecutor()
+    if name == "flat-sim":
+        # The simulated executor's slab/calendar event engine: must produce
+        # bit-for-bit the schedules of the default objects engine (this
+        # differential is its gate; see docs/sim-internals.md).
+        return SimExecutor(engine="flat")
     if name == "threads":
         return ThreadedExecutor(block_timeout=block_timeout)
     if name == "interleave":
@@ -179,7 +184,7 @@ def make_engine(name: str, *, seed: int = 0, strategy: str = "random",
 
         return InterleaveExecutor(make_strategy(strategy, seed))
     raise VerificationError(
-        f"unknown engine {name!r}; choose from sim/threads/interleave")
+        f"unknown engine {name!r}; choose from sim/flat-sim/threads/interleave")
 
 
 @dataclass
@@ -280,6 +285,56 @@ def isx_coalescing_differential(
             rep.mismatches.append(
                 f"{run.engine} result digests != {baseline.engine} "
                 "(coalescing changed the sorted outputs)")
+    return rep
+
+
+def isx_engine_differential(
+    nodes: int = 4,
+    *,
+    platform: str = "titan",
+    variant: str = "flat",
+) -> DifferentialReport:
+    """The flat DES engine's gate: the same SPMD ISx run under
+    ``engine="objects"`` and ``engine="flat"`` must produce bit-identical
+    makespans and per-rank output digests.
+
+    This exercises the full production event path — fetch-add reservation
+    waves, puts, barriers, coalesced deliveries, help-until-ready nesting —
+    so an event ordered differently anywhere in the flat engine's calendar
+    queue shows up as a digest or makespan mismatch. At 4 Titan nodes the
+    flat layout is 64 PEs, big enough for multi-thousand-event cohorts while
+    staying CI-sized.
+    """
+    from repro.apps.isx import IsxConfig, isx_main, validate_isx
+    from repro.bench.harness import cluster_for
+    from repro.distrib import spmd_run
+    from repro.shmem import shmem_factory
+
+    cfg = IsxConfig(keys_per_pe=1 << 10, byte_scale=1 << 7)
+    rep = DifferentialReport(workload="isx-engine")
+    for engine in ("objects", "flat"):
+        res = spmd_run(
+            isx_main(variant, cfg),
+            cluster_for(platform, nodes, layout="flat"),
+            module_factories=[shmem_factory(direct=True)],
+            executor=SimExecutor(engine=engine),
+        )
+        validate_isx(cfg, res.nranks, res.results)
+        digest = tuple(
+            hashlib.sha256(np.asarray(r).tobytes()).hexdigest()
+            for r in res.results
+        )
+        rep.runs.append(EngineRun(
+            engine=engine,
+            result=("isx-engine", res.nranks, repr(res.makespan), digest),
+            invariants=InvariantReport(),
+        ))
+    baseline = rep.runs[0]
+    for run in rep.runs[1:]:
+        if run.result != baseline.result:
+            rep.mismatches.append(
+                f"{run.engine} result != {baseline.engine} "
+                "(flat engine diverged from the objects engine)")
     return rep
 
 

@@ -37,10 +37,10 @@ _settings = settings(max_examples=50, deadline=None,
 # ----------------------------------------------------------------------
 # determinism
 # ----------------------------------------------------------------------
-def _run_reference_workload(selection):
+def _run_reference_workload(selection, engine="objects"):
     """Fixed-seed fork/join workload with uneven charges (induces steals);
     returns every schedule-describing observable."""
-    ex = SimExecutor(selection=selection)
+    ex = SimExecutor(selection=selection, engine=engine)
     model = discover(machine("workstation"), num_workers=4)
     rt = HiperRuntime(model, ex, seed=7).start()
 
@@ -94,6 +94,13 @@ class TestDeterministicSchedule:
 
     def test_golden_schedule(self):
         assert _run_reference_workload("heap") == GOLDEN
+
+    def test_flat_engine_matches_golden(self):
+        """The slab/calendar event engine must reproduce the objects
+        engine's golden schedule bit-for-bit — same makespan, clocks, steal
+        and task counts (the flat engine reorders nothing, it only changes
+        how event records are stored)."""
+        assert _run_reference_workload("heap", engine="flat") == GOLDEN
 
     def test_invalid_selection_rejected(self):
         from repro.util.errors import ConfigError

@@ -156,9 +156,13 @@ class TestTelemetrySampler:
         sim_rt.run(main)
         series = sim_rt.stats.series
         for name in ("ready_tasks", "event_queue", "pop_rate", "steal_rate",
-                     "idle_fraction"):
+                     "idle_fraction", "events_per_sec"):
             assert series[name], name
         assert all(0.0 <= v <= 1.0 for _, v in series["idle_fraction"])
+        assert all(v >= 0.0 for _, v in series["events_per_sec"])
+        # DES-engine gauges mirror the latest tick for metrics.json readers.
+        assert ("sim", "events_per_sec") in sim_rt.stats.gauges
+        assert ("sim", "event_queue_depth") in sim_rt.stats.gauges
         assert 0 < sampler.samples_taken <= 64
 
     def test_max_samples_bounds_tick_chain(self, sim_rt):
