@@ -5,14 +5,19 @@ ledgers (``BENCH_scheduler.json``, ``BENCH_comm.json``,
 The ledgers make overhead changes reviewable the same way figure outputs
 are: every entry pins ops/sec per micro-benchmark to a commit hash and date,
 so a perf regression shows up as a diff instead of an anecdote. Each ledger
-is owned by a *suite* — a benchmark module plus its CI fast subset:
+is owned by a *suite* — a benchmark module plus its CI fast subset,
+declared once via :func:`register_suite`:
 
 - ``scheduler`` — spawn/join, steal, future machinery
   (``benchmarks/bench_micro_runtime.py``);
 - ``comm`` — per-message vs. coalesced sends, polling sweeps, buffer-pool
   hit rates, ISx exchange end-to-end (``benchmarks/bench_micro_comm.py``);
 - ``procs`` — the multiprocess SPMD backend end-to-end: launch + ISx
-  exchange wall time at 1 vs. 4 ranks (``benchmarks/bench_procs.py``).
+  exchange wall time at 1 vs. 4 ranks (``benchmarks/bench_procs.py``);
+- ``sim`` — DES engine core, objects vs. flat wave storm
+  (``benchmarks/bench_micro_sim.py``);
+- ``service`` — job-gateway warm vs. cold execution and the concurrent-
+  client load test (``benchmarks/bench_service.py``).
 
 Usage::
 
@@ -36,57 +41,71 @@ import tempfile
 from datetime import datetime, timezone
 from typing import Any, Dict, List, Optional, Sequence
 
-#: Benchmark suites: name -> (ledger, bench module, CI fast subset). Every
-#: suite follows one convention — ledger ``BENCH_<suite>.json`` at the repo
-#: root, benchmark module under ``benchmarks/`` — and each ``fast`` subset is
-#: a comparison *pair* the CI perf-smoke job always records both sides of
-#: (the ledger's headline ratio stays computable from smoke entries alone).
-SUITES: Dict[str, Dict[str, Any]] = {
-    # spawn/join, steal, future machinery: the storm exercises the full
-    # dispatch hot path, the chain the promise/continuation machinery.
-    "scheduler": {
-        "bench_file": "benchmarks/bench_micro_runtime.py",
-        "fast": (
-            "test_spawn_and_join_throughput_sim",
-            "test_future_chain_throughput_sim",
-        ),
-    },
-    # per-message vs. coalesced sends, polling sweeps, buffer-pool hit
-    # rates, ISx exchange end-to-end.
-    "comm": {
-        "bench_file": "benchmarks/bench_micro_comm.py",
-        "fast": (
-            "test_small_put_per_message",
-            "test_small_put_coalesced",
-        ),
-    },
-    # multiprocess SPMD backend end-to-end: 4 ranks must beat 1 rank (real
-    # parallel speedup across processes).
-    "procs": {
-        "bench_file": "benchmarks/bench_procs.py",
-        "fast": (
-            "test_isx_procs_1rank",
-            "test_isx_procs_4ranks",
-        ),
-    },
-    # DES engine core: the wave storm (deep queue, batched same-timestamp
-    # cohorts) is where the flat engine must beat the objects engine; the
-    # pair records both sides so the events/sec ratio is always in-ledger.
-    # Extra rounds because the ledger's headline is a *ratio* of two
-    # recordings taken seconds apart — more rounds average out load spikes
-    # that would otherwise skew one side.
-    "sim": {
-        "bench_file": "benchmarks/bench_micro_sim.py",
-        "fast": (
-            "test_wave_storm_objects",
-            "test_wave_storm_flat",
-        ),
-        "pytest_args": ("--benchmark-min-rounds=9",),
-    },
-}
-for _name, _cfg in SUITES.items():
-    _cfg.setdefault("ledger", f"BENCH_{_name}.json")
-    _cfg.setdefault("pytest_args", ())
+#: Benchmark suites: name -> (ledger, bench module, CI fast subset),
+#: populated via :func:`register_suite`.
+SUITES: Dict[str, Dict[str, Any]] = {}
+
+
+def register_suite(name: str, *, bench_file: str, fast: Sequence[str],
+                   ledger: Optional[str] = None,
+                   pytest_args: Sequence[str] = ()) -> Dict[str, Any]:
+    """Register one benchmark suite; returns its config dict.
+
+    Every suite follows one convention — ledger ``BENCH_<suite>.json`` at
+    the repo root (override with ``ledger``), benchmark module under
+    ``benchmarks/`` — and each ``fast`` subset is a comparison *pair* the
+    CI perf-smoke job always records both sides of, so the ledger's
+    headline ratio stays computable from smoke entries alone. Registration
+    is the whole integration: ``--suite <name>`` on the CLI, ledger path
+    defaulting, and fast-subset selection all read from this table.
+    """
+    if name in SUITES:
+        raise ValueError(f"benchmark suite {name!r} already registered")
+    SUITES[name] = {
+        "bench_file": bench_file,
+        "fast": tuple(fast),
+        "ledger": ledger or f"BENCH_{name}.json",
+        "pytest_args": tuple(pytest_args),
+    }
+    return SUITES[name]
+
+
+# spawn/join, steal, future machinery: the storm exercises the full
+# dispatch hot path, the chain the promise/continuation machinery.
+register_suite("scheduler",
+               bench_file="benchmarks/bench_micro_runtime.py",
+               fast=("test_spawn_and_join_throughput_sim",
+                     "test_future_chain_throughput_sim"))
+# per-message vs. coalesced sends, polling sweeps, buffer-pool hit
+# rates, ISx exchange end-to-end.
+register_suite("comm",
+               bench_file="benchmarks/bench_micro_comm.py",
+               fast=("test_small_put_per_message",
+                     "test_small_put_coalesced"))
+# multiprocess SPMD backend end-to-end: 4 ranks must beat 1 rank (real
+# parallel speedup across processes).
+register_suite("procs",
+               bench_file="benchmarks/bench_procs.py",
+               fast=("test_isx_procs_1rank",
+                     "test_isx_procs_4ranks"))
+# DES engine core: the wave storm (deep queue, batched same-timestamp
+# cohorts) is where the flat engine must beat the objects engine; the
+# pair records both sides so the events/sec ratio is always in-ledger.
+# Extra rounds because the ledger's headline is a *ratio* of two
+# recordings taken seconds apart — more rounds average out load spikes
+# that would otherwise skew one side.
+register_suite("sim",
+               bench_file="benchmarks/bench_micro_sim.py",
+               fast=("test_wave_storm_objects",
+                     "test_wave_storm_flat"),
+               pytest_args=("--benchmark-min-rounds=9",))
+# Job-gateway service: warm-pool vs. cold per-job runtime construction
+# (the pair CI records) plus the 1000-client load test whose latency
+# percentiles land in the full ledger's extra_info.
+register_suite("service",
+               bench_file="benchmarks/bench_service.py",
+               fast=("test_service_job_warm",
+                     "test_service_job_cold"))
 
 #: Back-compat aliases for the default ("scheduler") suite, derived from
 #: SUITES so a suite definition is stated exactly once.

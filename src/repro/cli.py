@@ -499,10 +499,26 @@ def cmd_run(args) -> int:
     OS processes — one per rank, SHMEM heap on POSIX shared memory, puts
     and collectives over a Unix-socket fabric. The three backends' digests
     agree by construction, so this doubles as a cross-backend spot check.
+    ``--engine flat`` selects the slab/calendar DES engine for the sim
+    backend (``SimExecutor(engine="flat")``).
     """
+    from repro.util.errors import ConfigError
     from repro.verify import WORKLOADS, run_on_engine
     from repro.verify.spmd_workloads import run_procs_workload
 
+    if args.engine == "flat" and args.backend != "sim":
+        raise ConfigError(
+            f"--engine flat applies to the sim backend only "
+            f"(got --backend {args.backend}); valid combinations: "
+            f"sim+objects, sim+flat, threads, procs")
+    if args.backend == "procs":
+        # Fail before running anything so a typo'd launcher exits cleanly
+        # instead of FAILing every app with the same traceback text.
+        from repro.launch import get_launcher
+        get_launcher(args.launcher)
+
+    engine = "flat-sim" if (args.backend == "sim" and
+                            args.engine == "flat") else args.backend
     apps = sorted(WORKLOADS) if args.app == "all" else [args.app]
     failures = 0
     for app in apps:
@@ -514,10 +530,12 @@ def cmd_run(args) -> int:
                     workers_per_rank=args.workers, timeout=args.timeout)
                 extra = f"{res.nranks} ranks via {args.launcher}"
             else:
-                run = run_on_engine(WORKLOADS[app](), args.backend,
+                run = run_on_engine(WORKLOADS[app](), engine,
                                     workers=args.workers)
                 digest = run.result
-                extra = f"{args.workers} workers in-process"
+                extra = (f"{args.workers} workers in-process"
+                         + (f", {args.engine} engine"
+                            if args.backend == "sim" else ""))
             print(f"  {app:<9s} OK   {digest}  "
                   f"[{args.backend}: {extra}, "
                   f"{time.perf_counter() - t0:.2f}s wall]")
@@ -566,6 +584,62 @@ def cmd_bench_record(args) -> int:
     print(f"({len(entry['benchmarks'])} benchmarks in "
           f"{time.perf_counter() - t0:.1f}s wall; appended to "
           f"{args.out or SUITES[args.suite]['ledger']})")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the long-lived job gateway (``repro.service``) as a daemon.
+
+    Holds warm executor pools and serves the JSON job API over a
+    Unix-domain socket (default) or TCP. SIGINT/SIGTERM triggers a
+    graceful drain: intake stops, accepted jobs finish, then the process
+    exits. A second signal hard-stops.
+    """
+    import signal
+
+    from repro.resilience import Backoff, RetryPolicy
+    from repro.service import JobGateway, ServiceConfig, ServiceServer
+
+    cfg = ServiceConfig(
+        backends=tuple(args.backends), pool_size=args.pool_size,
+        workers=args.workers, engine=args.engine, warm=not args.cold,
+        max_queue_per_tenant=args.queue_cap,
+        cache_capacity=args.cache_capacity,
+        retry=RetryPolicy(max_attempts=args.retries,
+                          backoff=Backoff(base=1e-3, max_delay=2e-2)))
+    gateway = JobGateway(cfg)
+    if args.host is not None:
+        server = ServiceServer(gateway, host=args.host, port=args.port)
+    else:
+        server = ServiceServer(gateway, uds=args.uds)
+    server.start()
+    print(f"repro-service listening on {server.address} "
+          f"(backends={list(cfg.backends)}, pool={cfg.pool_size}/backend, "
+          f"{'warm' if cfg.warm else 'cold'} {cfg.engine} pools)")
+
+    signals = {"n": 0}
+
+    def on_signal(_sig, _frm):
+        signals["n"] += 1
+        if signals["n"] > 1:
+            raise KeyboardInterrupt
+
+    signal.signal(signal.SIGINT, on_signal)
+    signal.signal(signal.SIGTERM, on_signal)
+    try:
+        # Exit on SIGINT/SIGTERM *or* when a client POSTs /drain — the
+        # latter is the portable remote-shutdown path.
+        while not signals["n"] and not gateway.draining:
+            time.sleep(0.2)
+        print("draining: intake stopped, finishing accepted jobs "
+              "(signal again to hard-stop)")
+        gateway.drain(timeout=args.drain_timeout)
+    except KeyboardInterrupt:
+        print("hard stop")
+    finally:
+        server.stop()
+    done = gateway.stats.counter("service", "jobs_completed")
+    print(f"repro-service stopped ({int(done)} jobs completed)")
     return 0
 
 
@@ -684,9 +758,47 @@ def build_parser() -> argparse.ArgumentParser:
     rn.add_argument("--launcher", default="local",
                     help="process launcher for the procs backend "
                          "(local, subprocess, flux, pbs)")
+    rn.add_argument("--engine", default="objects",
+                    choices=["objects", "flat"],
+                    help="DES event engine for the sim backend "
+                         "(flat = slab/calendar engine)")
     rn.add_argument("--timeout", type=float, default=300.0,
                     help="end-to-end timeout per workload (procs), seconds")
     rn.set_defaults(fn=cmd_run)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the long-lived job gateway with warm executor pools")
+    sv.add_argument("--uds", default=None,
+                    help="Unix-domain socket path (default: "
+                         "./repro-service.sock)")
+    sv.add_argument("--host", default=None,
+                    help="listen on TCP host:port instead of a UDS")
+    sv.add_argument("--port", type=int, default=0,
+                    help="TCP port (0 = ephemeral; with --host only)")
+    sv.add_argument("--backends", nargs="+", default=["sim"],
+                    choices=["sim", "threads", "procs"],
+                    help="backends to run pool slots for")
+    sv.add_argument("--pool-size", type=int, default=2,
+                    help="warm entries (= worker threads) per backend")
+    sv.add_argument("--workers", type=int, default=4,
+                    help="runtime workers per warm entry")
+    sv.add_argument("--engine", default="objects",
+                    choices=["objects", "flat"],
+                    help="DES engine warm sim entries are built with")
+    sv.add_argument("--cold", action="store_true",
+                    help="disable warm pools (construct/tear down a runtime "
+                         "per job)")
+    sv.add_argument("--queue-cap", type=int, default=256,
+                    help="max queued jobs per tenant before 429 rejection")
+    sv.add_argument("--cache-capacity", type=int, default=1024,
+                    help="result-cache entries (LRU)")
+    sv.add_argument("--retries", type=int, default=3,
+                    help="max attempts per job (failures retry per the "
+                         "resilience policy)")
+    sv.add_argument("--drain-timeout", type=float, default=120.0,
+                    help="seconds to wait for in-flight jobs on shutdown")
+    sv.set_defaults(fn=cmd_serve)
 
     # Internal: child entry point used by out-of-process launchers. No
     # help= on purpose — it's not part of the user-facing surface.
@@ -705,8 +817,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.util.errors import ConfigError
+
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ConfigError as exc:
+        # Bad names (figure, plan, launcher, backend...) are user errors:
+        # print the message — which lists the valid choices — and exit 2,
+        # matching argparse's own exit code for bad arguments.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

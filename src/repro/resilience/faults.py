@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.resilience.policy import Backoff, RetryPolicy
@@ -162,9 +163,18 @@ class FaultPlan:
 
     @classmethod
     def load(cls, path: str, *, seed: Optional[int] = None) -> "FaultPlan":
-        """Load a spec from a JSON file, or resolve a preset name."""
+        """Load a spec from a JSON file, or resolve a preset name.
+
+        A name that is neither a preset nor an existing file raises
+        :class:`ConfigError` naming the valid presets (the CLI turns this
+        into an exit-2 usage error instead of a traceback).
+        """
         if path in PRESETS:
             return cls.from_spec(PRESETS[path], seed=seed)
+        if not os.path.exists(path):
+            raise ConfigError(
+                f"unknown fault plan {path!r}: not a preset "
+                f"({sorted(PRESETS)}) and no such JSON spec file")
         with open(path, "r", encoding="utf-8") as fh:
             return cls.from_spec(json.load(fh), seed=seed)
 

@@ -1,0 +1,169 @@
+"""Client for the job gateway: stdlib HTTP over a UDS or TCP socket.
+
+One :class:`ServiceClient` wraps one persistent connection (HTTP/1.1
+keep-alive) and is **not** thread-safe — give each driving thread its own
+client, the way each benchmark driver thread does. The client implements
+the protocol's backpressure contract: a 429 (tenant queue full) is retried
+with exponential backoff up to ``submit_attempts`` times before
+:class:`ServiceError` propagates, so well-behaved callers absorb transient
+pressure instead of hammering a full queue.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any, Dict, Mapping, Optional
+
+from repro.util.errors import HiperError
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(HiperError):
+    """A request failed; carries the HTTP status and server error text."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        super().__init__(f"[{status}] {message}")
+
+
+class _UdsConnection(http.client.HTTPConnection):
+    def __init__(self, path: str, timeout: Optional[float] = None):
+        super().__init__("localhost", timeout=timeout)
+        self._uds_path = path
+
+    def connect(self) -> None:
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            self.sock.settimeout(self.timeout)
+        self.sock.connect(self._uds_path)
+
+
+class ServiceClient:
+    """Submit/status/result/cancel against one running service."""
+
+    def __init__(self, *, uds: Optional[str] = None,
+                 host: Optional[str] = None, port: Optional[int] = None,
+                 timeout: float = 120.0, submit_attempts: int = 12,
+                 backoff_base: float = 0.02):
+        if (uds is None) == (host is None):
+            raise ValueError("pass exactly one of uds= or host=/port=")
+        self.uds = uds
+        self.host, self.port = host, port
+        self.timeout = timeout
+        self.submit_attempts = submit_attempts
+        self.backoff_base = backoff_base
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- transport -----------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            if self.uds is not None:
+                self._conn = _UdsConnection(self.uds, timeout=self.timeout)
+            else:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def request(self, method: str, path: str,
+                body: Optional[Mapping[str, Any]] = None
+                ) -> Dict[str, Any]:
+        """One request/response cycle; reconnects once on a dropped
+        keep-alive connection. Returns the decoded document with the HTTP
+        status attached as ``doc["_status"]``."""
+        payload = json.dumps(dict(body)).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                resp = conn.getresponse()
+                raw = resp.read()
+                break
+            except (http.client.HTTPException, OSError):
+                self.close()
+                if attempt:
+                    raise
+        doc = json.loads(raw) if raw else {}
+        doc["_status"] = resp.status
+        return doc
+
+    def _checked(self, method: str, path: str,
+                 body: Optional[Mapping[str, Any]] = None,
+                 ok_statuses: tuple = (200, 202)) -> Dict[str, Any]:
+        doc = self.request(method, path, body)
+        if doc["_status"] not in ok_statuses:
+            raise ServiceError(doc["_status"], doc.get("error", "unknown"))
+        return doc
+
+    # -- API -----------------------------------------------------------
+    def submit(self, app: str, params: Optional[Mapping[str, Any]] = None, *,
+               seed: int = 0, backend: str = "sim", engine: str = "objects",
+               ranks: int = 2, tenant: str = "default") -> Dict[str, Any]:
+        """Submit a job; absorbs 429 backpressure with exponential backoff.
+
+        Returns the job document (``doc["job_id"]`` is the handle).
+        """
+        body = {"app": app, "params": dict(params or {}), "seed": seed,
+                "backend": backend, "engine": engine, "ranks": ranks,
+                "tenant": tenant}
+        for attempt in range(self.submit_attempts):
+            doc = self.request("POST", "/api/v1/jobs", body)
+            if doc["_status"] == 202:
+                return doc["job"]
+            if doc["_status"] != 429 or attempt + 1 >= self.submit_attempts:
+                raise ServiceError(doc["_status"], doc.get("error", "unknown"))
+            time.sleep(min(self.backoff_base * (2 ** attempt), 1.0))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._checked("GET", f"/api/v1/jobs/{job_id}")["job"]
+
+    def result(self, job_id: str, timeout: float = 0.0) -> Dict[str, Any]:
+        """One (long-)poll for the result; may return a non-terminal doc."""
+        return self._checked(
+            "GET", f"/api/v1/jobs/{job_id}/result?timeout={timeout}")["job"]
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll: float = 1.0) -> Dict[str, Any]:
+        """Block until the job is terminal; raises :class:`ServiceError`
+        (status 0) on client-side timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError(0, f"job {job_id} still "
+                                      "running at client timeout")
+            doc = self.result(job_id, timeout=min(poll, remaining))
+            if doc["state"] in ("done", "failed", "cancelled"):
+                return doc
+
+    def cancel(self, job_id: str) -> str:
+        return self._checked("POST", f"/api/v1/jobs/{job_id}/cancel")["outcome"]
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        body = {} if timeout is None else {"timeout": timeout}
+        return self._checked("POST", "/api/v1/drain", body)["drained"]
+
+    def reload(self) -> int:
+        return self._checked("POST", "/api/v1/reload", {})["generation"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self._checked("GET", "/api/v1/stats")["stats"]
+
+    def health(self) -> Dict[str, Any]:
+        return self._checked("GET", "/api/v1/health")

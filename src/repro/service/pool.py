@@ -1,0 +1,113 @@
+"""Warm executor pools: pay runtime construction once, serve many jobs.
+
+A :class:`WarmRuntime` is one reusable executor + runtime pair. Cold-path
+job execution (what the CLI does today) pays, per job: platform-model
+discovery, deque-table and worker construction, executor setup, and —
+for the threaded backend — OS thread spawning; then tears it all down.
+A warm entry pays that once at pool construction and runs every subsequent
+job as just another root task on the same runtime (``HiperRuntime.run`` is
+re-entrant for sequential roots; the tier-1 suite exercises repeated runs
+on one runtime). ``BENCH_service.json`` records the resulting speedup.
+
+Hygiene rules that keep reuse safe:
+
+- **One owner.** A warm entry is driven by exactly one pool worker thread;
+  the simulated executor is single-threaded by design and must never see
+  concurrent ``run_root`` calls. The gateway enforces this by giving each
+  pool slot its own thread and its own entry.
+- **Retire on failure.** If a job fails (or its runtime raises), the entry
+  is discarded and the slot rebuilds fresh — a poisoned engine state must
+  not leak into the next tenant's job. Failures are rare; rebuilding costs
+  one cold construction.
+- **Generation fencing.** ``reload`` bumps the pool generation; a worker
+  rebuilds its entry before taking the next job when its entry is stale.
+  In-flight jobs always finish on the entry they started on.
+
+The ``procs`` backend is *not* warm-poolable: its unit of construction is a
+tree of OS processes wired to one job's shared-memory segments, torn down by
+the rank teardown protocol. Procs jobs therefore run cold per job (the pool
+slot still serializes and fair-shares them).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Optional, Tuple
+
+from repro.service.jobs import Job, JobSpec, build_workload
+from repro.util.errors import ConfigError
+
+
+class WarmRuntime:
+    """A started, reusable (executor, runtime) pair for one pool slot."""
+
+    def __init__(self, backend: str, *, workers: int = 4,
+                 engine: str = "objects", block_timeout: float = 60.0):
+        from repro.exec.sim import SimExecutor
+        from repro.exec.threaded import ThreadedExecutor
+        from repro.platform.hwloc import discover, machine
+        from repro.runtime.runtime import HiperRuntime
+
+        if backend not in ("sim", "threads"):
+            raise ConfigError(
+                f"backend {backend!r} is not warm-poolable (sim/threads only)")
+        self.backend = backend
+        self.engine = engine
+        self.workers = workers
+        t0 = time.perf_counter()
+        if backend == "sim":
+            self.executor = SimExecutor(engine=engine)
+        else:
+            self.executor = ThreadedExecutor(block_timeout=block_timeout)
+        model = discover(machine("workstation"), num_workers=workers,
+                         with_interconnect=False)
+        self.runtime = HiperRuntime(model, self.executor).start()
+        self.construction_s = time.perf_counter() - t0
+        self.jobs_run = 0
+        self.closed = False
+
+    def run(self, workload: Callable[[], Any], *, name: str = "job") -> Any:
+        """Execute one root body; the entry stays warm for the next one."""
+        self.jobs_run += 1
+        return self.runtime.run(workload, name=name)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.runtime.shutdown()
+        self.executor.shutdown()
+
+
+def run_job_cold(spec: JobSpec) -> Any:
+    """One-shot execution: construct, run, tear down (the pre-service path).
+
+    Used for the ``procs`` backend (never poolable), for pools configured
+    with ``warm=False``, and as the cold side of the warm-vs-cold benchmark
+    pair.
+    """
+    if spec.backend == "procs":
+        from repro.verify.spmd_workloads import run_procs_workload
+
+        digest, _res = run_procs_workload(
+            spec.app, nranks=spec.ranks, workers_per_rank=1,
+            seed=spec.seed, cfg_kwargs=dict(spec.params))
+        return digest
+    entry = WarmRuntime(spec.backend, engine=spec.engine)
+    try:
+        return entry.run(build_workload(spec))
+    finally:
+        entry.close()
+
+
+def run_job_on(entry: Optional[WarmRuntime], spec: JobSpec,
+               *, name: str = "job") -> Tuple[Any, bool]:
+    """Execute a spec on a warm entry when possible, cold otherwise.
+
+    Returns ``(result, used_warm)``.
+    """
+    if (entry is not None and not entry.closed
+            and spec.backend == entry.backend
+            and (spec.backend != "sim" or spec.engine == entry.engine)):
+        return entry.run(build_workload(spec), name=name), True
+    return run_job_cold(spec), False

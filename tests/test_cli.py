@@ -126,9 +126,18 @@ class TestChaosCommand:
         assert args.plan == "mixed" and args.seed == 0
         assert args.fn.__name__ == "cmd_chaos"
 
-    def test_unknown_plan_rejected(self, tmp_path):
-        with pytest.raises(Exception):
-            main(["chaos", "fig5", "--plan", str(tmp_path / "missing.json")])
+    def test_unknown_plan_rejected(self, tmp_path, capsys):
+        rc = main(["chaos", "fig5", "--plan", str(tmp_path / "missing.json")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown fault plan" in err and "mixed" in err
+
+    def test_unknown_figure_exits_2(self):
+        # argparse rejects a bad figure choice with its own exit code 2 and
+        # a message listing the valid choices.
+        with pytest.raises(SystemExit) as exc:
+            main(["chaos", "fig99"])
+        assert exc.value.code == 2
 
     def test_chaos_smoke_writes_artifacts(self, tmp_path, capsys, monkeypatch):
         # Substitute a tiny target so the smoke run stays fast.
@@ -158,3 +167,66 @@ class TestChaosCommand:
         assert metrics["plan"] == "drop" and metrics["seed"] == 7
         assert metrics["results_ok"] is True
         assert (out / "trace.json").exists()
+
+
+class TestRunCommand:
+    """``repro run``: engine selection and clean exit-2 on bad names."""
+
+    def test_parser_engine_choices(self):
+        args = build_parser().parse_args(
+            ["run", "--backend", "sim", "--engine", "flat"])
+        assert args.engine == "flat"
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["run", "--engine", "slab"])
+        assert exc.value.code == 2
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["run", "--backend", "bogus"])
+        assert exc.value.code == 2
+
+    def test_sim_engines_agree(self, capsys):
+        # The same digest workload on both DES engines: both exit 0 and
+        # print identical digests (the engine differential, via the CLI).
+        assert main(["run", "--backend", "sim", "--app", "isx"]) == 0
+        objects_out = capsys.readouterr().out
+        assert main(["run", "--backend", "sim", "--engine", "flat",
+                     "--app", "isx"]) == 0
+        flat_out = capsys.readouterr().out
+        digest = objects_out.split("OK")[1].split("[")[0].strip()
+        assert digest in flat_out
+        assert "flat engine" in flat_out
+
+    def test_flat_engine_requires_sim_backend(self, capsys):
+        rc = main(["run", "--backend", "threads", "--engine", "flat"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "sim backend" in err and "valid combinations" in err
+
+    def test_unknown_launcher_exits_2(self, capsys):
+        rc = main(["run", "--backend", "procs", "--launcher", "bogus"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown launcher" in err and "local" in err
+        # Nothing ran: the validation happened before any workload started.
+        assert "FAIL" not in capsys.readouterr().out
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.fn.__name__ == "cmd_serve"
+        assert args.backends == ["sim"] and args.pool_size == 2
+        assert args.uds is None and args.host is None
+        assert not args.cold
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--backends", "sim", "threads", "--pool-size", "3",
+             "--engine", "flat", "--cold", "--queue-cap", "16"])
+        assert args.backends == ["sim", "threads"]
+        assert args.pool_size == 3 and args.engine == "flat"
+        assert args.cold and args.queue_cap == 16
+
+    def test_bad_backend_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["serve", "--backends", "gpu"])
+        assert exc.value.code == 2

@@ -1,0 +1,528 @@
+"""The ``repro.service`` job gateway: units, edge cases, and the wire.
+
+Layered like the package: cache / admission / spec units first (no
+threads), then gateway edge cases driven directly (cancel queued vs.
+running, backpressure, drain with in-flight jobs, reload), then the HTTP
+server + client over a real Unix-domain socket, ending in the CI smoke
+scenario (two tenants, a burst of jobs, clean remote drain).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import (FairShareAdmission, Job, JobGateway, JobSpec,
+                           QueueFull, ResultCache, ServiceClient,
+                           ServiceConfig, ServiceDraining, ServiceError,
+                           ServiceServer)
+from repro.service.pool import WarmRuntime, run_job_on
+from repro.util.errors import ConfigError
+
+#: A job slow enough (~0.5 s simulated UTS) to be observably RUNNING.
+SLOW = {"root_children": 5000}
+#: A quick job (~50 ms) for queue/drain scenarios.
+QUICK = {"root_children": 500}
+
+
+def _wait_state(job, state, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if job.state.value == state:
+            return True
+        time.sleep(0.005)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# units: result cache
+# ---------------------------------------------------------------------------
+class TestResultCache:
+    def test_miss_then_hit(self):
+        c = ResultCache(capacity=4)
+        assert c.get("k") == (False, None)
+        c.put("k", [1, 2])
+        assert c.get("k") == (True, [1, 2])
+        assert (c.hits, c.misses) == (1, 1)
+
+    def test_lru_eviction_and_hit_refresh(self):
+        c = ResultCache(capacity=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        assert c.get("a")[0]          # refresh "a": now "b" is oldest
+        c.put("c", 3)
+        assert c.get("b") == (False, None)
+        assert c.get("a") == (True, 1)
+        assert c.evictions == 1
+
+    def test_duplicate_put_keeps_original(self):
+        c = ResultCache(capacity=4)
+        c.put("k", "first")
+        c.put("k", "second")
+        assert c.get("k") == (True, "first")
+        assert len(c) == 1
+
+    def test_zero_capacity_disables(self):
+        c = ResultCache(capacity=0)
+        c.put("k", 1)
+        assert c.get("k") == (False, None)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            ResultCache(capacity=-1)
+
+
+# ---------------------------------------------------------------------------
+# units: job spec / cache key discipline
+# ---------------------------------------------------------------------------
+class TestJobSpec:
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ConfigError, match="unknown app"):
+            JobSpec.create("nope")
+        with pytest.raises(ConfigError, match="unknown backend"):
+            JobSpec.create("isx", backend="gpu")
+        with pytest.raises(ConfigError, match="unknown engine"):
+            JobSpec.create("isx", engine="slab")
+
+    def test_bad_params_list_valid_fields(self):
+        with pytest.raises(ConfigError, match="keys_per_pe"):
+            JobSpec.create("isx", {"keys": 10})
+
+    def test_seed_field_is_canonical(self):
+        # A "seed" smuggled into params loses to the spec's seed field, so
+        # the cache key cannot be split by where the seed was written.
+        a = JobSpec.create("isx", {"keys_per_pe": 64, "seed": 5}, seed=7)
+        b = JobSpec.create("isx", {"keys_per_pe": 64}, seed=7)
+        assert a == b and a.cache_key() == b.cache_key()
+        assert a.canonical()["seed"] == 7
+
+    def test_key_ignores_param_order_not_values(self):
+        a = JobSpec.create("uts", {"root_children": 9, "mean_children": 0.5})
+        b = JobSpec.create("uts", {"mean_children": 0.5, "root_children": 9})
+        c = JobSpec.create("uts", {"root_children": 10, "mean_children": 0.5})
+        assert a.cache_key() == b.cache_key() != c.cache_key()
+
+    def test_engine_in_key_only_for_sim(self):
+        flat = JobSpec.create("isx", seed=1, engine="flat")
+        objects = JobSpec.create("isx", seed=1, engine="objects")
+        assert flat.cache_key() != objects.cache_key()
+        t_flat = JobSpec.create("isx", seed=1, backend="threads",
+                                engine="flat")
+        t_obj = JobSpec.create("isx", seed=1, backend="threads",
+                               engine="objects")
+        assert t_flat.cache_key() == t_obj.cache_key()
+
+    def test_ranks_in_key_only_for_procs(self):
+        assert (JobSpec.create("isx", ranks=2).cache_key()
+                == JobSpec.create("isx", ranks=8).cache_key())
+        assert (JobSpec.create("isx", backend="procs", ranks=2).cache_key()
+                != JobSpec.create("isx", backend="procs", ranks=8).cache_key())
+
+
+# ---------------------------------------------------------------------------
+# units: fair-share admission
+# ---------------------------------------------------------------------------
+def _job(tenant, backend="sim", **params):
+    params.setdefault("keys_per_pe", 32)
+    return Job(JobSpec.create("isx", params, backend=backend), tenant)
+
+
+class TestFairShareAdmission:
+    def test_queue_full_rejects_per_tenant(self):
+        adm = FairShareAdmission(max_queue_per_tenant=2)
+        adm.submit(_job("a"))
+        adm.submit(_job("a"))
+        with pytest.raises(QueueFull) as exc:
+            adm.submit(_job("a"))
+        assert exc.value.tenant == "a" and exc.value.depth == 2
+        adm.submit(_job("b"))  # other tenants are unaffected
+
+    def test_stride_order_respects_weights(self):
+        adm = FairShareAdmission(weights={"b": 2.0})
+        for _ in range(6):
+            adm.submit(_job("a"))
+            adm.submit(_job("b"))
+        picks = [adm.next_job("sim", timeout=0).tenant for _ in range(6)]
+        # Strides: a=1.0, b=0.5 -> b is served twice as often.
+        assert picks == ["a", "b", "b", "a", "b", "b"]
+        assert adm.to_dict()["b"]["dispatched"] == 4
+
+    def test_idle_tenant_cannot_bank_credit(self):
+        adm = FairShareAdmission()
+        for _ in range(4):
+            adm.submit(_job("a"))
+        for _ in range(4):
+            adm.next_job("sim", timeout=0)   # a's pass advances to 4.0
+        adm.submit(_job("a"))
+        adm.submit(_job("late"))             # clamped to a's pass floor
+        assert adm.to_dict()["late"]["pass"] >= 4.0
+
+    def test_backend_skip_preserves_fifo_per_backend(self):
+        adm = FairShareAdmission()
+        adm.submit(_job("a", backend="procs"))
+        first_sim = _job("a")
+        adm.submit(first_sim)
+        adm.submit(_job("a"))
+        assert adm.next_job("sim", timeout=0) is first_sim
+        assert adm.pending() == 2
+        assert adm.next_job("threads", timeout=0) is None
+
+    def test_cancel_removes_queued_only(self):
+        adm = FairShareAdmission()
+        job = _job("a")
+        adm.submit(job)
+        assert adm.cancel(job) is True
+        assert adm.cancel(job) is False
+        assert adm.pending() == 0
+
+
+# ---------------------------------------------------------------------------
+# units: warm pool
+# ---------------------------------------------------------------------------
+class TestWarmPool:
+    def test_procs_not_poolable(self):
+        with pytest.raises(ConfigError, match="not warm-poolable"):
+            WarmRuntime("procs")
+
+    def test_engine_mismatch_runs_cold(self):
+        entry = WarmRuntime("sim", engine="objects")
+        try:
+            match = JobSpec.create("isx", {"keys_per_pe": 32}, seed=1)
+            other = JobSpec.create("isx", {"keys_per_pe": 32}, seed=1,
+                                   engine="flat")
+            r1, warm1 = run_job_on(entry, match)
+            r2, warm2 = run_job_on(entry, other)
+            assert warm1 and not warm2
+            assert r1 == r2  # engine differential, via the pool
+            assert entry.jobs_run == 1
+        finally:
+            entry.close()
+
+    def test_closed_entry_runs_cold(self):
+        entry = WarmRuntime("sim")
+        entry.close()
+        spec = JobSpec.create("isx", {"keys_per_pe": 32}, seed=2)
+        _result, used_warm = run_job_on(entry, spec)
+        assert not used_warm
+
+
+# ---------------------------------------------------------------------------
+# gateway edge cases (no wire)
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def gateway():
+    gw = JobGateway(ServiceConfig(backends=("sim",), pool_size=1)).start()
+    yield gw
+    gw.close()
+
+
+class TestGatewayDedupe:
+    def test_resubmission_hits_cache_without_reexecution(self, gateway):
+        first = gateway.submit("isx", {"keys_per_pe": 64}, seed=11)
+        assert first.done_event.wait(30.0) and first.state.value == "done"
+
+        second = gateway.submit("isx", {"keys_per_pe": 64}, seed=11)
+        assert second.cache_hit and second.state.value == "done"
+        assert second.result == first.result       # bit-identical
+        assert second.job_id != first.job_id       # still its own job
+        # No second execution: one exec timer sample, one cache hit.
+        assert gateway.stats.timer("service", "exec").count == 1
+        assert gateway.cache.hits == 1
+
+    def test_distinct_seed_misses(self, gateway):
+        a = gateway.submit("isx", {"keys_per_pe": 64}, seed=1)
+        assert a.done_event.wait(30.0)
+        b = gateway.submit("isx", {"keys_per_pe": 64}, seed=2)
+        assert b.done_event.wait(30.0)
+        assert not b.cache_hit and b.result != a.result
+
+
+class TestGatewayCancel:
+    def test_cancel_queued_never_runs(self):
+        # Unstarted gateway: no pool workers, jobs stay queued.
+        gw = JobGateway(ServiceConfig(backends=("sim",)))
+        job = gw.submit("isx", {"keys_per_pe": 64}, seed=21)
+        out = gw.cancel(job.job_id)
+        assert out["outcome"] == "cancelled"
+        assert job.state.value == "cancelled" and job.done_event.is_set()
+        assert gw.stats.counter("service", "jobs_cancelled") == 1
+        assert gw.stats.timer("service", "exec").count == 0
+
+    def test_cancel_running_discards_result_but_caches(self, gateway):
+        job = gateway.submit("uts", SLOW, seed=22)
+        assert _wait_state(job, "running")
+        out = gateway.cancel(job.job_id)
+        assert out["outcome"] == "cancelling"
+        assert job.done_event.wait(30.0)
+        assert job.state.value == "cancelled"
+        doc = gateway.result(job.job_id)
+        assert "result" in doc and doc["result"] is None
+        # The attempt's (deterministic) value still landed in the cache:
+        # a resubmission is answered instantly.
+        again = gateway.submit("uts", SLOW, seed=22)
+        assert again.cache_hit and again.result is not None
+
+    def test_cancel_terminal_is_noop(self, gateway):
+        job = gateway.submit("isx", {"keys_per_pe": 64}, seed=23)
+        assert job.done_event.wait(30.0)
+        assert gateway.cancel(job.job_id)["outcome"] == "done"
+
+    def test_unknown_job_id(self, gateway):
+        with pytest.raises(ConfigError, match="unknown job id"):
+            gateway.cancel("job-99999999")
+
+
+class TestGatewayBackpressure:
+    def test_full_tenant_queue_rejects(self):
+        gw = JobGateway(ServiceConfig(backends=("sim",),
+                                      max_queue_per_tenant=2))
+        for seed in (1, 2):
+            gw.submit("isx", {"keys_per_pe": 64}, seed=seed, tenant="noisy")
+        with pytest.raises(QueueFull):
+            gw.submit("isx", {"keys_per_pe": 64}, seed=3, tenant="noisy")
+        # The rejection is per tenant, rolled back cleanly, and counted.
+        gw.submit("isx", {"keys_per_pe": 64}, seed=3, tenant="polite")
+        assert gw.stats.counter("tenant.noisy", "jobs_rejected") == 1
+        assert gw.stats.counter("service", "jobs_submitted") == 4
+        assert len([j for j in gw._jobs.values()]) == 3
+
+    def test_rejected_job_not_queryable(self):
+        gw = JobGateway(ServiceConfig(backends=("sim",),
+                                      max_queue_per_tenant=1))
+        gw.submit("isx", {"keys_per_pe": 64}, seed=1)
+        with pytest.raises(QueueFull):
+            gw.submit("isx", {"keys_per_pe": 64}, seed=2)
+        assert gw.admission.depth("default") == 1
+
+
+class TestGatewayLifecycle:
+    def test_drain_completes_inflight_then_rejects(self):
+        gw = JobGateway(ServiceConfig(backends=("sim",), pool_size=1)).start()
+        jobs = [gw.submit("uts", QUICK, seed=s) for s in range(5)]
+        assert gw.drain(timeout=60.0) is True
+        assert all(j.state.value == "done" for j in jobs)
+        with pytest.raises(ServiceDraining):
+            gw.submit("isx", {"keys_per_pe": 64}, seed=9)
+        # Completed jobs stay queryable after the drain.
+        doc = gw.result(jobs[0].job_id)
+        assert doc["state"] == "done" and doc["result"] is not None
+
+    def test_drain_timeout_reports_false(self):
+        gw = JobGateway(ServiceConfig(backends=("sim",), pool_size=1)).start()
+        try:
+            gw.submit("uts", SLOW, seed=31)
+            assert gw.drain(timeout=0.05) is False
+        finally:
+            gw.close()
+
+    def test_reload_bumps_generation_and_keeps_serving(self):
+        gw = JobGateway(ServiceConfig(backends=("sim",), pool_size=1)).start()
+        try:
+            before = gw.submit("isx", {"keys_per_pe": 64}, seed=41)
+            assert before.done_event.wait(30.0)
+            assert gw.reload() == 1
+            after = gw.submit("isx", {"keys_per_pe": 64}, seed=42)
+            assert after.done_event.wait(30.0)
+            assert after.state.value == "done"
+            assert gw.pool_generation == 1
+        finally:
+            gw.close()
+
+    def test_disabled_backend_rejected_at_submit(self, gateway):
+        with pytest.raises(ConfigError, match="not enabled"):
+            gateway.submit("isx", {}, backend="threads")
+
+    def test_stats_dict_shape(self, gateway):
+        job = gateway.submit("isx", {"keys_per_pe": 64}, seed=51)
+        assert job.done_event.wait(30.0)
+        doc = gateway.stats_dict()
+        assert doc["jobs"] == {"done": 1} and doc["unfinished"] == 0
+        assert doc["tenants"]["default"]["dispatched"] == 1
+        assert doc["cache"]["entries"] == 1
+        assert doc["telemetry"]["counters"]["tenant.default.jobs_completed"] == 1
+
+
+class TestGatewayRetries:
+    def test_hiper_error_retries_then_fails(self, monkeypatch):
+        from repro.service import gateway as gw_mod
+        from repro.util.errors import HiperError
+
+        calls = []
+
+        def always_fails(entry, spec, name=""):
+            calls.append(name)
+            raise HiperError("injected transient fault")
+
+        monkeypatch.setattr(gw_mod, "run_job_on", always_fails)
+        gw = JobGateway(ServiceConfig(backends=("sim",), pool_size=1,
+                                      warm=False)).start()
+        try:
+            job = gw.submit("isx", {"keys_per_pe": 64}, seed=61)
+            assert job.done_event.wait(30.0)
+            assert job.state.value == "failed"
+            assert job.attempts == 3 and len(calls) == 3
+            assert "injected transient fault" in job.error
+            assert gw.stats.counter("service", "retries") == 2
+        finally:
+            gw.close()
+
+    def test_programming_error_fails_fast(self, monkeypatch):
+        from repro.service import gateway as gw_mod
+
+        def explodes(entry, spec, name=""):
+            raise AssertionError("oracle mismatch")
+
+        monkeypatch.setattr(gw_mod, "run_job_on", explodes)
+        gw = JobGateway(ServiceConfig(backends=("sim",), pool_size=1,
+                                      warm=False)).start()
+        try:
+            job = gw.submit("isx", {"keys_per_pe": 64}, seed=62)
+            assert job.done_event.wait(30.0)
+            assert job.state.value == "failed" and job.attempts == 1
+            assert gw.stats.counter("service", "retries") == 0
+        finally:
+            gw.close()
+
+
+# ---------------------------------------------------------------------------
+# the wire: server + client over a Unix-domain socket
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def served(tmp_path):
+    uds = str(tmp_path / "svc.sock")
+    gw = JobGateway(ServiceConfig(backends=("sim",), pool_size=1,
+                                  max_queue_per_tenant=4))
+    server = ServiceServer(gw, uds=uds).start()
+    client = ServiceClient(uds=uds)
+    yield client, gw, uds
+    client.close()
+    server.stop()
+
+
+class TestWire:
+    def test_submit_wait_roundtrip(self, served):
+        client, _gw, _uds = served
+        job = client.submit("isx", {"keys_per_pe": 64}, seed=71)
+        assert job["state"] in ("queued", "running", "done")
+        doc = client.wait(job["job_id"], timeout=30.0)
+        assert doc["state"] == "done" and doc["result"] is not None
+
+    def test_dedupe_is_bit_identical_over_the_wire(self, served):
+        client, _gw, _uds = served
+        a = client.wait(client.submit("uts", QUICK, seed=72)["job_id"],
+                        timeout=30.0)
+        b = client.submit("uts", QUICK, seed=72)
+        assert b["cache_hit"] and b["state"] == "done"
+        assert b["result"] == a["result"]
+
+    def test_unknown_job_is_404(self, served):
+        client, _gw, _uds = served
+        with pytest.raises(ServiceError) as exc:
+            client.status("job-00000000")
+        assert exc.value.status == 404
+
+    def test_bad_spec_is_400(self, served):
+        client, _gw, _uds = served
+        with pytest.raises(ServiceError) as exc:
+            client.submit("nope")
+        assert exc.value.status == 400 and "unknown app" in str(exc.value)
+
+    def test_queue_full_is_429_and_backoff_absorbs_it(self, served):
+        client, _gw, _uds = served
+        slow = client.submit("uts", SLOW, seed=73)
+        # Wait until the slow job occupies the single pool slot, then fill
+        # the tenant queue behind it.
+        deadline = time.monotonic() + 10.0
+        while client.status(slow["job_id"])["state"] != "running":
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        for seed in range(4):
+            client.submit("isx", {"keys_per_pe": 64}, seed=seed)
+        impatient = ServiceClient(uds=_uds, submit_attempts=1)
+        try:
+            with pytest.raises(ServiceError) as exc:
+                impatient.submit("isx", {"keys_per_pe": 64}, seed=99)
+            assert exc.value.status == 429
+        finally:
+            impatient.close()
+        # The default client's backoff outlasts the slow job: accepted.
+        doc = client.submit("isx", {"keys_per_pe": 64}, seed=99)
+        assert client.wait(doc["job_id"], timeout=60.0)["state"] == "done"
+
+    def test_cancel_over_wire(self, served):
+        client, _gw, _uds = served
+        running = client.submit("uts", SLOW, seed=74)
+        queued = client.submit("uts", SLOW, seed=75)
+        assert client.cancel(queued["job_id"]) in ("cancelled", "cancelling")
+        outcome = client.cancel(running["job_id"])
+        assert outcome in ("cancelling", "cancelled", "done")
+        client.wait(running["job_id"], timeout=60.0)
+
+    def test_stats_and_health(self, served):
+        client, _gw, _uds = served
+        assert client.health()["status"] == "ok"
+        job = client.submit("isx", {"keys_per_pe": 64}, seed=76)
+        client.wait(job["job_id"], timeout=30.0)
+        stats = client.stats()
+        assert stats["jobs"].get("done") == 1
+        assert "default" in stats["tenants"]
+
+    def test_drain_then_submit_is_503(self, served):
+        client, _gw, _uds = served
+        assert client.drain(timeout=30.0) is True
+        with pytest.raises(ServiceError) as exc:
+            client.submit("isx", {"keys_per_pe": 64}, seed=77)
+        assert exc.value.status == 503
+        assert client.health()["draining"] is True
+
+    def test_server_rejects_ambiguous_transport(self):
+        gw = JobGateway(ServiceConfig())
+        with pytest.raises(ConfigError):
+            ServiceServer(gw, uds="/tmp/x.sock", host="127.0.0.1")
+
+
+class TestServiceSmoke:
+    """The CI ``service-smoke`` scenario: two tenants, a burst of jobs over
+    a live UDS, every result correct, clean remote drain."""
+
+    def test_two_tenant_burst_and_drain(self, tmp_path):
+        uds = str(tmp_path / "smoke.sock")
+        gw = JobGateway(ServiceConfig(backends=("sim",), pool_size=2,
+                                      tenant_weights={"heavy": 2.0}))
+        server = ServiceServer(gw, uds=uds).start()
+        specs = [("isx", {"keys_per_pe": 32 + 8 * (i % 3)}, i % 5)
+                 for i in range(40)]
+        results = {}
+        failures = []
+
+        def drive(tenant, offset):
+            with ServiceClient(uds=uds) as client:
+                for i in range(offset, len(specs), 2):
+                    app, params, seed = specs[i]
+                    job = client.submit(app, params, seed=seed, tenant=tenant)
+                    doc = client.wait(job["job_id"], timeout=60.0)
+                    if doc["state"] != "done":
+                        failures.append((i, doc.get("error")))
+                    else:
+                        results[i] = doc["result"]
+
+        threads = [threading.Thread(target=drive, args=("heavy", 0)),
+                   threading.Thread(target=drive, args=("light", 1))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120.0)
+
+        try:
+            assert not failures, failures
+            assert len(results) == len(specs)
+            # Identical specs produced identical results across tenants.
+            by_spec = {}
+            for i, (app, params, seed) in enumerate(specs):
+                key = (app, tuple(sorted(params.items())), seed)
+                by_spec.setdefault(key, set()).add(repr(results[i]))
+            assert all(len(vals) == 1 for vals in by_spec.values())
+            with ServiceClient(uds=uds) as client:
+                assert client.drain(timeout=60.0) is True
+        finally:
+            server.stop()
