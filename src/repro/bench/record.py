@@ -106,6 +106,13 @@ register_suite("service",
                bench_file="benchmarks/bench_service.py",
                fast=("test_service_job_warm",
                      "test_service_job_cold"))
+# Access-mode task graph: dmda vs. help-first placement on the hetero
+# chains (the pair CI records; the headline is the virtual-makespan gap
+# in extra_info), plus the commute-vs-ordered reduction pair in full runs.
+register_suite("taskgraph",
+               bench_file="benchmarks/bench_taskgraph.py",
+               fast=("test_taskgraph_hetero_help_first",
+                     "test_taskgraph_hetero_dmda"))
 
 #: Back-compat aliases for the default ("scheduler") suite, derived from
 #: SUITES so a suite definition is stated exactly once.

@@ -499,24 +499,21 @@ def cmd_run(args) -> int:
     OS processes — one per rank, SHMEM heap on POSIX shared memory, puts
     and collectives over a Unix-socket fabric. The three backends' digests
     agree by construction, so this doubles as a cross-backend spot check.
-    ``--engine flat`` selects the slab/calendar DES engine for the sim
-    backend (``SimExecutor(engine="flat")``).
+    ``--engine`` selects the sim backend's DES engine (flat — the
+    slab/calendar engine — is the default; ``--engine objects`` selects
+    the original per-record engine).
     """
-    from repro.util.errors import ConfigError
     from repro.verify import WORKLOADS, run_on_engine
     from repro.verify.spmd_workloads import run_procs_workload
 
-    if args.engine == "flat" and args.backend != "sim":
-        raise ConfigError(
-            f"--engine flat applies to the sim backend only "
-            f"(got --backend {args.backend}); valid combinations: "
-            f"sim+objects, sim+flat, threads, procs")
     if args.backend == "procs":
         # Fail before running anything so a typo'd launcher exits cleanly
         # instead of FAILing every app with the same traceback text.
         from repro.launch import get_launcher
         get_launcher(args.launcher)
 
+    # --engine picks the sim DES engine (flat is the default); the threads
+    # and procs backends have no DES engine and ignore it.
     engine = "flat-sim" if (args.backend == "sim" and
                             args.engine == "flat") else args.backend
     apps = sorted(WORKLOADS) if args.app == "all" else [args.app]
@@ -673,7 +670,7 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--scale", type=float, default=1.0,
                       help="preset workload scale (1.0 = benchmark size)")
     prof.add_argument("--engine", choices=["objects", "flat"],
-                      default="objects",
+                      default="flat",
                       help="DES event engine for the instrumented run")
     prof.set_defaults(fn=cmd_profile)
 
@@ -758,10 +755,11 @@ def build_parser() -> argparse.ArgumentParser:
     rn.add_argument("--launcher", default="local",
                     help="process launcher for the procs backend "
                          "(local, subprocess, flux, pbs)")
-    rn.add_argument("--engine", default="objects",
+    rn.add_argument("--engine", default="flat",
                     choices=["objects", "flat"],
                     help="DES event engine for the sim backend "
-                         "(flat = slab/calendar engine)")
+                         "(flat is the default; objects = the original "
+                         "per-record engine)")
     rn.add_argument("--timeout", type=float, default=300.0,
                     help="end-to-end timeout per workload (procs), seconds")
     rn.set_defaults(fn=cmd_run)
@@ -783,7 +781,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="warm entries (= worker threads) per backend")
     sv.add_argument("--workers", type=int, default=4,
                     help="runtime workers per warm entry")
-    sv.add_argument("--engine", default="objects",
+    sv.add_argument("--engine", default="flat",
                     choices=["objects", "flat"],
                     help="DES engine warm sim entries are built with")
     sv.add_argument("--cold", action="store_true",

@@ -73,15 +73,16 @@ class SimExecutor(Executor):
     MAX_HELP_DEPTH = 4000
 
     def __init__(self, *, trace: bool = False, task_overhead: float = 0.0,
-                 selection: str = "heap", engine: str = "objects"):
+                 selection: str = "heap", engine: str = "flat"):
         """``task_overhead``: virtual seconds charged per task dispatch
         (models scheduler/dispatch cost; 0 by default, exercised by the
         runtime-overhead ablation bench). ``selection``: ``"heap"`` (default,
         O(log W) lazy-deletion heap) or ``"scan"`` (legacy O(W) min-scan,
         kept to prove the two produce identical schedules). ``engine``:
-        ``"objects"`` (default; heapq of per-event records, per-task object
-        allocation) or ``"flat"`` (slab-allocated events in a calendar queue
-        plus recycled task records — see ``docs/sim-internals.md``; produces
+        ``"flat"`` (default since it soaked through the PR-7 differential
+        gates; slab-allocated events in a calendar queue plus recycled task
+        records — see ``docs/sim-internals.md``) or ``"objects"`` (the
+        original heapq-of-records engine, kept selectable; the two produce
         bit-for-bit identical schedules, gated by the verify differential)."""
         if selection not in ("heap", "scan"):
             raise ConfigError(

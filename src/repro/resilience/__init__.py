@@ -19,6 +19,8 @@ from repro.resilience.faults import (FaultInjector, FaultPlan, FaultRule,
                                      PRESETS)
 from repro.resilience.policy import (Backoff, RetryPolicy, async_retry,
                                      with_timeout)
+from repro.resilience.snapshot import (payload_digest, restore_payload,
+                                       snapshot_payload)
 from repro.util.errors import FaultError, PlaceFailure, TimeoutExpired
 
 __all__ = [
@@ -32,5 +34,8 @@ __all__ = [
     "RetryPolicy",
     "TimeoutExpired",
     "async_retry",
+    "payload_digest",
+    "restore_payload",
+    "snapshot_payload",
     "with_timeout",
 ]

@@ -100,6 +100,21 @@ class Promise:
         if run_now:
             cb(self.get_future())
 
+    def _remove_callback(self, cb: Callable[["Future"], None]) -> bool:
+        """Detach a registered callback; returns whether it was present.
+
+        Used by combinators (``when_any``'s losers, ``when_all``'s
+        fail-fast) to drop dead continuations from long-lived promises —
+        a promise that outlives many combinator rounds must not
+        accumulate callbacks that can never fire again.
+        """
+        with self._lock:
+            try:
+                self._callbacks.remove(cb)
+                return True
+            except ValueError:
+                return False
+
     def __repr__(self) -> str:
         state = "satisfied" if self._satisfied else "pending"
         return f"Promise({self.name or hex(id(self))}, {state})"
@@ -226,6 +241,11 @@ def when_all(futures: Sequence[Future], name: str = "when_all") -> Future:
             return
         if exc is not None:
             out.put_exception(exc)
+            # Fail-fast fired with inputs still pending: detach from them,
+            # or a long-lived unsatisfied input would pin this closure (and
+            # every value reachable from `futures`) for its whole lifetime.
+            for g in futures:
+                g._promise._remove_callback(_one_done)
             return
         try:
             out.put([g.value() for g in futures])
@@ -238,13 +258,20 @@ def when_all(futures: Sequence[Future], name: str = "when_all") -> Future:
 
 
 def when_any(futures: Sequence[Future], name: str = "when_any") -> Future:
-    """A future satisfied when *any* input is, with ``(index, value)``."""
+    """A future satisfied when *any* input is, with ``(index, value)``.
+
+    The winner detaches the losers' callbacks: a long-lived input (a warm
+    pool's shutdown future, a shared timer) raced against per-job futures
+    must not accumulate one dead callback per race for the daemon's
+    lifetime.
+    """
     futures = list(futures)
     if not futures:
         raise PromiseError("when_any requires at least one future")
     out = Promise(name)
     lock = threading.Lock()
     fired = [False]
+    registered: List[tuple] = []
 
     def _make(i: int) -> Callable[[Future], None]:
         def _cb(f: Future) -> None:
@@ -256,9 +283,20 @@ def when_any(futures: Sequence[Future], name: str = "when_any") -> Future:
                 out.put((i, f.value()))
             except BaseException as exc:
                 out.put_exception(exc)
+            for j, (g, cb) in enumerate(registered):
+                if j != i:
+                    g._promise._remove_callback(cb)
 
         return _cb
 
     for i, f in enumerate(futures):
-        f.on_ready(_make(i))
+        registered.append((f, _make(i)))
+    for f, cb in registered:
+        f.on_ready(cb)
+    if fired[0]:
+        # The winner fired while we were still registering: sweep every
+        # callback (removing the winner's is a no-op — resolution already
+        # drained its list).
+        for g, cb in registered:
+            g._promise._remove_callback(cb)
     return out.get_future()

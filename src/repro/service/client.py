@@ -4,9 +4,11 @@ One :class:`ServiceClient` wraps one persistent connection (HTTP/1.1
 keep-alive) and is **not** thread-safe — give each driving thread its own
 client, the way each benchmark driver thread does. The client implements
 the protocol's backpressure contract: a 429 (tenant queue full) is retried
-with exponential backoff up to ``submit_attempts`` times before
-:class:`ServiceError` propagates, so well-behaved callers absorb transient
-pressure instead of hammering a full queue.
+after the server's ``retry_after`` hint plus deterministic seeded jitter
+from an exponential window, up to ``submit_attempts`` times before
+:class:`ServiceError` propagates — the hint paces retries to the queue's
+actual drain rate, and the jitter keeps a burst of rejected clients from
+retrying in lockstep and re-colliding.
 """
 
 from __future__ import annotations
@@ -15,9 +17,10 @@ import http.client
 import json
 import socket
 import time
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, Mapping, Optional
 
 from repro.util.errors import HiperError
+from repro.util.rng import RngFactory
 
 __all__ = ["ServiceClient", "ServiceError"]
 
@@ -48,7 +51,9 @@ class ServiceClient:
     def __init__(self, *, uds: Optional[str] = None,
                  host: Optional[str] = None, port: Optional[int] = None,
                  timeout: float = 120.0, submit_attempts: int = 12,
-                 backoff_base: float = 0.02):
+                 backoff_base: float = 0.02, backoff_cap: float = 1.0,
+                 seed: int = 0,
+                 sleep: Callable[[float], None] = time.sleep):
         if (uds is None) == (host is None):
             raise ValueError("pass exactly one of uds= or host=/port=")
         self.uds = uds
@@ -56,6 +61,11 @@ class ServiceClient:
         self.timeout = timeout
         self.submit_attempts = submit_attempts
         self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        # Deterministic per-client jitter stream: different seeds decorrelate
+        # concurrent clients, the same seed replays the same delays.
+        self._rng = RngFactory(seed).stream("service", "client-backoff")
+        self._sleep = sleep
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # -- transport -----------------------------------------------------
@@ -111,10 +121,27 @@ class ServiceClient:
         return doc
 
     # -- API -----------------------------------------------------------
+    def _backoff_delay(self, attempt: int,
+                       retry_after: Optional[float]) -> float:
+        """Delay before retrying a 429.
+
+        Honors the server's ``retry_after`` hint as a floor (the gateway
+        knows how fast its queues drain), plus seeded jitter drawn from the
+        exponential window — so concurrent clients that were rejected in
+        the same burst do not retry in lockstep and re-collide forever.
+        """
+        window = min(self.backoff_base * (2 ** attempt), self.backoff_cap)
+        u = float(self._rng.random())
+        if retry_after is not None and retry_after > 0:
+            return float(retry_after) + u * window
+        # No hint: full jitter over the window, floored at half so every
+        # retry still makes progress through the exponential schedule.
+        return window * (0.5 + 0.5 * u)
+
     def submit(self, app: str, params: Optional[Mapping[str, Any]] = None, *,
-               seed: int = 0, backend: str = "sim", engine: str = "objects",
+               seed: int = 0, backend: str = "sim", engine: str = "flat",
                ranks: int = 2, tenant: str = "default") -> Dict[str, Any]:
-        """Submit a job; absorbs 429 backpressure with exponential backoff.
+        """Submit a job; absorbs 429 backpressure with jittered backoff.
 
         Returns the job document (``doc["job_id"]`` is the handle).
         """
@@ -127,7 +154,9 @@ class ServiceClient:
                 return doc["job"]
             if doc["_status"] != 429 or attempt + 1 >= self.submit_attempts:
                 raise ServiceError(doc["_status"], doc.get("error", "unknown"))
-            time.sleep(min(self.backoff_base * (2 ** attempt), 1.0))
+            hint = doc.get("retry_after")
+            self._sleep(self._backoff_delay(
+                attempt, float(hint) if hint is not None else None))
         raise AssertionError("unreachable")  # pragma: no cover
 
     def status(self, job_id: str) -> Dict[str, Any]:

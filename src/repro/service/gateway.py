@@ -67,7 +67,7 @@ class ServiceConfig:
     workers: int = 4
     #: DES engine warm sim entries are built with; a job requesting the
     #: other engine still runs, cold, on its slot.
-    engine: str = "objects"
+    engine: str = "flat"
     #: False = construct/tear down a runtime per job (the cold baseline the
     #: benchmark pair measures against).
     warm: bool = True
@@ -188,7 +188,7 @@ class JobGateway:
     # submission API
     # ------------------------------------------------------------------
     def submit(self, app: str, params: Optional[Mapping[str, Any]] = None, *,
-               seed: int = 0, backend: str = "sim", engine: str = "objects",
+               seed: int = 0, backend: str = "sim", engine: str = "flat",
                ranks: int = 2, tenant: str = "default") -> Job:
         """Validate, admit, and (maybe) answer from cache.
 

@@ -66,13 +66,13 @@ class JobSpec:
     params: Tuple[Tuple[str, Any], ...] = ()
     seed: int = 0
     backend: str = "sim"
-    engine: str = "objects"
+    engine: str = "flat"
     #: SPMD ranks — meaningful for the ``procs`` backend only.
     ranks: int = 2
 
     @classmethod
     def create(cls, app: str, params: Optional[Mapping[str, Any]] = None, *,
-               seed: int = 0, backend: str = "sim", engine: str = "objects",
+               seed: int = 0, backend: str = "sim", engine: str = "flat",
                ranks: int = 2) -> "JobSpec":
         """Validate and canonicalize a submission into a spec.
 

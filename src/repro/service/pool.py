@@ -42,7 +42,7 @@ class WarmRuntime:
     """A started, reusable (executor, runtime) pair for one pool slot."""
 
     def __init__(self, backend: str, *, workers: int = 4,
-                 engine: str = "objects", block_timeout: float = 60.0):
+                 engine: str = "flat", block_timeout: float = 60.0):
         from repro.exec.sim import SimExecutor
         from repro.exec.threaded import ThreadedExecutor
         from repro.platform.hwloc import discover, machine

@@ -124,7 +124,7 @@ class _Handler(BaseHTTPRequestHandler):
                     body.get("app", ""), body.get("params") or {},
                     seed=body.get("seed", 0),
                     backend=body.get("backend", "sim"),
-                    engine=body.get("engine", "objects"),
+                    engine=body.get("engine", "flat"),
                     ranks=body.get("ranks", 2),
                     tenant=body.get("tenant", "default"))
                 self._reply(202, {"ok": True, "job": job.to_dict(

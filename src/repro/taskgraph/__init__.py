@@ -1,0 +1,46 @@
+"""Access-mode task graphs over the HiPER runtime.
+
+The fork/join core (``async_``/``finish``/futures) makes the user wire
+dependencies by hand. This package adds the Specx/StarPU layer on top:
+tasks declare *what they touch* (``read``/``write``/``commute``/
+``maybe_write`` access modes on :class:`DataHandle` arguments) and the
+graph infers the dependency DAG — per-datum version chains, commutative
+reordering, speculative execution with bit-exact rollback, and
+cost-model-driven placement over multi-implementation tasks.
+
+Entry points:
+
+- :class:`TaskGraph` / :func:`async_task` — build and run a graph
+  (``with TaskGraph() as g: async_task(f, read=[a], write=[b])``);
+- :class:`DataHandle` — a named, versioned datum (``g.handle(payload)``);
+- :class:`TaskImpl` / :class:`CostModel` / ``policy="dmda"`` — multiple
+  implementations per task and calibrated place+variant selection;
+- :class:`WritePredictor` — the speculation predictor for ``maybe_write``
+  tasks.
+
+See ``docs/taskgraph.md`` for the model and protocol details.
+"""
+
+from repro.taskgraph.cost import (CostModel, DmdaPolicy, HelpFirstPolicy,
+                                  TaskImpl, make_policy)
+from repro.taskgraph.data import CommuteRun, DataHandle
+from repro.taskgraph.graph import TaskGraph, TaskNode, WritePredictor, async_task
+from repro.taskgraph.workloads import (hetero_workload, isx_dag_workload,
+                                       reduction_workload)
+
+__all__ = [
+    "CommuteRun",
+    "CostModel",
+    "DataHandle",
+    "DmdaPolicy",
+    "HelpFirstPolicy",
+    "TaskGraph",
+    "TaskImpl",
+    "TaskNode",
+    "WritePredictor",
+    "async_task",
+    "hetero_workload",
+    "isx_dag_workload",
+    "make_policy",
+    "reduction_workload",
+]

@@ -1,0 +1,96 @@
+"""Data handles: named, versioned data the task graph tracks accesses on.
+
+A :class:`DataHandle` wraps one payload (typically a numpy array, but any
+object works) and carries the per-datum dependency state the graph's access
+rules read and update — the Specx/StarPU "data" half of the task-graph
+model:
+
+- ``version``: the committed write count. Every completed write-mode access
+  (``write``, ``commute``, ``maybe_write``) bumps it, so the sequence of
+  writers forms the datum's *version chain* and a node's declared accesses
+  pin it to a position in that chain.
+- the *current writer* (completion future + node of the last write-mode
+  access) and the *readers since that writer* — exactly the state needed to
+  infer read-after-write, write-after-read, and write-after-write edges.
+- the open *commute run*, when the most recent accesses are ``commute``:
+  a set of tasks that all depend on the same base state, may run in any
+  order, but are mutually serialized (see :class:`CommuteRun`).
+- ``residence``: which device kind ("cpu"/"gpu") the cost model believes
+  currently holds the bytes — fed into dmda's transfer-time estimates.
+
+Handles are created via :meth:`repro.taskgraph.TaskGraph.handle` and are
+owned by exactly one graph; task bodies read ``handle.data`` and assign or
+mutate it in place. All dependency fields are graph-internal (guarded by
+the graph's lock) — applications only touch ``data``/``name``/``version``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.future import Future
+    from repro.taskgraph.graph import TaskNode
+
+
+class CommuteRun:
+    """One open run of commute accesses on a datum.
+
+    Every member depends on the same ``base_deps`` (the writer + readers at
+    the moment the run opened), so members become *ready* independently —
+    but they share one serialization slot (``busy``): a member executes only
+    while holding it, and the slot is granted in **readiness-arrival order**,
+    not submission order. That gap is the observable commute reordering: a
+    cheap producer's accumulate step may run before an expensive earlier
+    one's, which a plain ``write`` chain would forbid.
+
+    The first non-commute access closes the run; the run's members
+    collectively become "the writer" for that successor.
+    """
+
+    __slots__ = ("base_deps", "members", "busy", "pending",
+                 "member_seqs", "granted_seqs")
+
+    def __init__(self, base_deps: List["Future"]):
+        self.base_deps = base_deps
+        #: completion futures of every member submitted into the run
+        self.members: List["Future"] = []
+        #: the member currently holding the serialization slot (or None)
+        self.busy: Optional["TaskNode"] = None
+        #: ready members waiting for the slot: (node, resume_index) FIFO
+        self.pending: Deque[Tuple["TaskNode", int]] = deque()
+        #: submission sequence numbers of members / of members already granted
+        self.member_seqs: List[int] = []
+        self.granted_seqs: set = set()
+
+
+class DataHandle:
+    """A named, versioned datum registered with one :class:`TaskGraph`."""
+
+    __slots__ = ("graph", "name", "data", "version", "residence",
+                 "writer", "writer_node", "readers", "run")
+
+    def __init__(self, graph: Any, payload: Any, name: str = ""):
+        self.graph = graph
+        self.name = name or f"data{id(self) & 0xFFFF:04x}"
+        #: the payload task bodies read and write
+        self.data = payload
+        #: committed write count (length of the version chain so far)
+        self.version = 0
+        #: device kind the cost model tracks the bytes on ("cpu"/"gpu")
+        self.residence = "cpu"
+        # --- graph-internal dependency state (guarded by graph._lock) ---
+        self.writer: Optional["Future"] = None
+        self.writer_node: Optional["TaskNode"] = None
+        self.readers: List["Future"] = []
+        self.run: Optional[CommuteRun] = None
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size the transfer model charges for (0 if unsized)."""
+        return int(getattr(self.data, "nbytes", 0) or 0)
+
+    def __repr__(self) -> str:
+        return (f"DataHandle({self.name!r}, v{self.version}, "
+                f"{type(self.data).__name__})")

@@ -25,6 +25,7 @@ from repro.verify.differential import (
     isx_coalescing_differential,
     isx_engine_differential,
     run_on_engine,
+    taskgraph_differential,
 )
 from repro.verify.spmd_workloads import (
     SPMD_WORKLOADS,
@@ -60,6 +61,7 @@ __all__ = [
     "isx_coalescing_differential",
     "isx_engine_differential",
     "run_on_engine",
+    "taskgraph_differential",
     "SPMD_WORKLOADS",
     "run_procs_workload",
     "HuntOutcome",

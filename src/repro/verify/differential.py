@@ -157,11 +157,20 @@ def graph500_workload(cfg: Optional[Graph500Config] = None,
     return root
 
 
+def _isx_dag_factory() -> Callable[[], Tuple]:
+    # Deferred import: repro.taskgraph sits above the runtime layer that
+    # this module is imported alongside.
+    from repro.taskgraph.workloads import isx_dag_workload
+
+    return isx_dag_workload()
+
+
 #: name -> zero-arg factory producing a fresh root body (CI-sized configs).
 WORKLOADS: Dict[str, Callable[[], Callable[[], Tuple]]] = {
     "isx": isx_workload,
     "uts": uts_workload,
     "graph500": graph500_workload,
+    "isx-dag": _isx_dag_factory,
 }
 
 
@@ -171,11 +180,14 @@ WORKLOADS: Dict[str, Callable[[], Callable[[], Tuple]]] = {
 def make_engine(name: str, *, seed: int = 0, strategy: str = "random",
                 block_timeout: float = 60.0):
     if name == "sim":
-        return SimExecutor()
+        # Pinned to the objects engine: flat became the constructor default,
+        # and this differential's whole point is comparing the two engines —
+        # "sim" vs "flat-sim" must stay objects vs flat.
+        return SimExecutor(engine="objects")
     if name == "flat-sim":
         # The simulated executor's slab/calendar event engine: must produce
-        # bit-for-bit the schedules of the default objects engine (this
-        # differential is its gate; see docs/sim-internals.md).
+        # bit-for-bit the schedules of the objects engine (this differential
+        # is its gate; see docs/sim-internals.md).
         return SimExecutor(engine="flat")
     if name == "threads":
         return ThreadedExecutor(block_timeout=block_timeout)
@@ -335,6 +347,44 @@ def isx_engine_differential(
             rep.mismatches.append(
                 f"{run.engine} result != {baseline.engine} "
                 "(flat engine diverged from the objects engine)")
+    return rep
+
+
+def taskgraph_differential(
+    engines: Sequence[str] = ("sim", "threads"),
+    *,
+    workers: int = 4,
+) -> DifferentialReport:
+    """DAG-vs-futures gate: the ISx sort with graph-inferred dependencies
+    (:func:`repro.taskgraph.workloads.isx_dag_workload`) must produce the
+    digest tuple of the hand-wired-futures version (:func:`isx_workload`)
+    on every engine.
+
+    Same kernels, same data, only the dependency wiring differs — so any
+    divergence is a task-graph edge-inference bug (a missed WAR edge, a
+    version chain that let a reader see a half-written bucket), not a
+    kernel bug.
+    """
+    from repro.taskgraph.workloads import isx_dag_workload
+
+    rep = DifferentialReport(workload="isx-dag-vs-futures")
+    for engine in engines:
+        rep.runs.append(run_on_engine(isx_workload(), engine,
+                                      workers=workers))
+        rep.runs[-1].engine = f"futures@{engine}"
+        rep.runs.append(run_on_engine(isx_dag_workload(), engine,
+                                      workers=workers))
+        rep.runs[-1].engine = f"dag@{engine}"
+    baseline = rep.runs[0]
+    for run in rep.runs[1:]:
+        if run.result != baseline.result:
+            rep.mismatches.append(
+                f"{run.engine} result {run.result!r} != "
+                f"{baseline.engine} result {baseline.result!r}")
+    for run in rep.runs:
+        if not run.invariants.ok:
+            rep.mismatches.append(
+                f"{run.engine}: {run.invariants.describe()}")
     return rep
 
 

@@ -186,7 +186,8 @@ class TestRunCommand:
     def test_sim_engines_agree(self, capsys):
         # The same digest workload on both DES engines: both exit 0 and
         # print identical digests (the engine differential, via the CLI).
-        assert main(["run", "--backend", "sim", "--app", "isx"]) == 0
+        assert main(["run", "--backend", "sim", "--engine", "objects",
+                     "--app", "isx"]) == 0
         objects_out = capsys.readouterr().out
         assert main(["run", "--backend", "sim", "--engine", "flat",
                      "--app", "isx"]) == 0
@@ -195,11 +196,14 @@ class TestRunCommand:
         assert digest in flat_out
         assert "flat engine" in flat_out
 
-    def test_flat_engine_requires_sim_backend(self, capsys):
+    def test_engine_flag_ignored_by_nonsim_backends(self, capsys):
+        # flat is the default engine now, so non-sim backends must accept
+        # (and ignore) it instead of rejecting the combination — they have
+        # no DES engine at all.
         rc = main(["run", "--backend", "threads", "--engine", "flat"])
-        assert rc == 2
-        err = capsys.readouterr().err
-        assert "sim backend" in err and "valid combinations" in err
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
 
     def test_unknown_launcher_exits_2(self, capsys):
         rc = main(["run", "--backend", "procs", "--launcher", "bogus"])

@@ -216,3 +216,59 @@ class TestCombinatorExceptionPropagation:
         assert len(fires) == 1
         with pytest.raises(OSError, match="winner failed"):
             combined.value()
+
+
+class TestCombinatorCallbackRetention:
+    """Regression: combinators must detach dead callbacks from long-lived
+    inputs. A warm pool's shutdown future raced against per-job futures
+    accumulated one dead callback per job for the daemon's lifetime."""
+
+    def test_when_any_winner_detaches_losers(self):
+        daemon = Promise(name="daemon-shutdown")
+        for i in range(50):
+            job = Promise(name=f"job-{i}")
+            out = when_any([daemon.get_future(), job.get_future()])
+            job.put(i)
+            assert out.value() == (1, i)
+        assert daemon._callbacks == []
+
+    def test_when_any_already_satisfied_input_sweeps_all(self):
+        # The winner fires during registration (input already satisfied):
+        # the sweep must still detach from the pending loser.
+        daemon = Promise(name="daemon-shutdown")
+        done = Promise(name="job")
+        done.put("v")
+        out = when_any([done.get_future(), daemon.get_future()])
+        assert out.value() == (0, "v")
+        assert daemon._callbacks == []
+
+    def test_when_any_losers_garbage_collectable(self):
+        import gc
+        import weakref
+
+        class Payload:
+            pass
+
+        daemon = Promise(name="daemon-shutdown")
+        payload = Payload()
+        job = Promise(name="job")
+        out = when_any([daemon.get_future(), job.get_future()])
+        job.put(payload)
+        assert out.value() == (1, payload)
+        ref = weakref.ref(payload)
+        # Drop every reference except whatever the daemon promise retains.
+        # Before the detach fix, daemon._callbacks held the when_any closure
+        # -> registered futures -> job promise -> payload: a leak.
+        del payload, job, out
+        gc.collect()
+        assert ref() is None
+        assert daemon._callbacks == []
+
+    def test_when_all_fail_fast_detaches_stragglers(self):
+        never = Promise(name="never")
+        failed = Promise(name="failed")
+        out = when_all([never.get_future(), failed.get_future()])
+        failed.put_exception(ValueError("down"))
+        with pytest.raises(ValueError):
+            out.value()
+        assert never._callbacks == []

@@ -185,11 +185,11 @@ class TestWarmPool:
             WarmRuntime("procs")
 
     def test_engine_mismatch_runs_cold(self):
-        entry = WarmRuntime("sim", engine="objects")
+        entry = WarmRuntime("sim", engine="flat")
         try:
             match = JobSpec.create("isx", {"keys_per_pe": 32}, seed=1)
             other = JobSpec.create("isx", {"keys_per_pe": 32}, seed=1,
-                                   engine="flat")
+                                   engine="objects")
             r1, warm1 = run_job_on(entry, match)
             r2, warm2 = run_job_on(entry, other)
             assert warm1 and not warm2
@@ -526,3 +526,64 @@ class TestServiceSmoke:
                 assert client.drain(timeout=60.0) is True
         finally:
             server.stop()
+
+
+# ---------------------------------------------------------------------------
+# units: client backoff (no server; request() stubbed)
+# ---------------------------------------------------------------------------
+class TestClientBackoff:
+    """The 429 retry contract: honor the server's ``retry_after`` hint as a
+    floor, decorrelate concurrent clients with seeded jitter, and replay
+    bit-for-bit from the seed."""
+
+    def _client(self, seed, delays, attempts=6):
+        c = ServiceClient(uds="/tmp/never-connected.sock", seed=seed,
+                          submit_attempts=attempts, backoff_base=0.02,
+                          backoff_cap=0.5, sleep=delays.append)
+        return c
+
+    def test_retry_after_hint_is_a_floor(self):
+        delays = []
+        c = self._client(0, delays)
+        docs = [{"_status": 429, "retry_after": 0.25},
+                {"_status": 429, "retry_after": 0.1},
+                {"_status": 202, "job": {"job_id": "j1"}}]
+        c.request = lambda method, path, body=None: docs.pop(0)
+        assert c.submit("isx", {})["job_id"] == "j1"
+        assert len(delays) == 2
+        # hint + jitter, never below the hint, jitter bounded by the window
+        assert 0.25 <= delays[0] <= 0.25 + 0.02
+        assert 0.1 <= delays[1] <= 0.1 + 0.04
+
+    def test_unhinted_backoff_stays_in_exponential_window(self):
+        delays = []
+        c = self._client(3, delays)
+        docs = [{"_status": 429}] * 5 + [{"_status": 202, "job": {}}]
+        c.request = lambda method, path, body=None: docs.pop(0)
+        c.submit("isx", {})
+        assert len(delays) == 5
+        for attempt, d in enumerate(delays):
+            window = min(0.02 * 2 ** attempt, 0.5)
+            assert window / 2 <= d <= window
+
+    def test_seeded_jitter_replays_and_decorrelates(self):
+        def run(seed):
+            delays = []
+            c = self._client(seed, delays)
+            docs = [{"_status": 429, "retry_after": 0.05}] * 4 + [
+                {"_status": 202, "job": {}}]
+            c.request = lambda method, path, body=None: docs.pop(0)
+            c.submit("isx", {})
+            return delays
+
+        assert run(1) == run(1)   # same seed: identical schedule
+        assert run(1) != run(2)   # different seeds: decorrelated
+
+    def test_attempts_exhausted_raises_service_error(self):
+        delays = []
+        c = self._client(0, delays, attempts=3)
+        c.request = lambda method, path, body=None: {
+            "_status": 429, "retry_after": 0.05, "error": "tenant queue full"}
+        with pytest.raises(ServiceError, match="tenant queue full"):
+            c.submit("isx", {})
+        assert len(delays) == 2   # sleeps between attempts only

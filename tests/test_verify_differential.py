@@ -18,7 +18,7 @@ from repro.verify.differential import (
 
 class TestWorkloads:
     def test_registry_covers_the_three_apps(self):
-        assert set(WORKLOADS) == {"isx", "uts", "graph500"}
+        assert set(WORKLOADS) == {"isx", "uts", "graph500", "isx-dag"}
 
     def test_isx_digest_matches_numpy_sort(self):
         run = run_on_engine(isx_workload(), "sim")
