@@ -21,7 +21,9 @@ virtual time.
 """
 
 import functools
+import os
 import random
+import time
 
 from repro.exec.sim import SimExecutor
 
@@ -29,6 +31,43 @@ WAVES = 32
 PER_WAVE = 16384
 RANDOM_EVENTS = 150_000
 CHAINS = 64
+
+# Sharded pair: a 512-rank ISx key exchange (the wave shape, end-to-end
+# through the SPMD runtime) run single-shard vs. across 2 OS-process
+# shards under the conservative-window protocol. The >=2x speedup story
+# needs >=4 cores; on a 1-core container the pair instead records the
+# measured ratio plus the window-overhead fraction (wall time the shards
+# spend blocked at window barriers), mirroring BENCH_procs.json.
+ISX_RANKS = 512
+ISX_KEYS_PER_PE = 64
+ISX_SHARDS = 2
+_isx_wall = {}
+
+
+def _isx_wave(shards):
+    from repro.distrib.spmd import ClusterConfig, spmd_run
+    from repro.shmem import shmem_factory
+    from repro.verify.spmd_workloads import isx_exchange_factory
+
+    info = {}
+
+    def run():
+        cfg = ClusterConfig(nodes=ISX_RANKS, ranks_per_node=1, seed=0)
+        ex = SimExecutor(engine="flat", shards=shards)
+        t0 = time.perf_counter()
+        res = spmd_run(isx_exchange_factory(keys_per_pe=ISX_KEYS_PER_PE),
+                       cfg, module_factories=[shmem_factory(direct=True)],
+                       executor=ex)
+        info["wall_s"] = time.perf_counter() - t0
+        assert sum(c for c, _ in res.results) == ISX_RANKS * ISX_KEYS_PER_PE
+        if shards == 1:
+            ex.shutdown()
+        else:
+            info["windows"] = res.windows
+            info["idle_s"] = sum(
+                t["idle_wall_s"] for t in res.shard_counters)
+
+    return run, info
 
 
 def _drain(ex):
@@ -111,3 +150,30 @@ def test_random_storm_flat(benchmark):
     benchmark(_random_storm("flat"))
     benchmark.extra_info["events_per_call"] = RANDOM_EVENTS
     benchmark.extra_info["engine"] = "flat"
+
+
+def test_isx_wave_512_single_shard(benchmark):
+    run, info = _isx_wave(1)
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    _isx_wall["single"] = info["wall_s"]
+    benchmark.extra_info.update(
+        engine="flat", ranks=ISX_RANKS, shards=1,
+        keys_per_pe=ISX_KEYS_PER_PE, cpu_count=os.cpu_count())
+
+
+def test_isx_wave_512_sharded(benchmark):
+    run, info = _isx_wave(ISX_SHARDS)
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    extra = {
+        "engine": "flat-sharded", "ranks": ISX_RANKS, "shards": ISX_SHARDS,
+        "keys_per_pe": ISX_KEYS_PER_PE, "cpu_count": os.cpu_count(),
+        "windows": info["windows"],
+        # Fraction of total shard wall time spent blocked at window
+        # barriers — the protocol's cost, and on few cores its bound.
+        "window_overhead_fraction": round(
+            info["idle_s"] / (ISX_SHARDS * info["wall_s"]), 3),
+    }
+    single = _isx_wall.get("single")
+    if single:  # requires the single-shard test in the same run
+        extra["time_vs_single_shard"] = round(info["wall_s"] / single, 2)
+    benchmark.extra_info.update(extra)

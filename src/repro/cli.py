@@ -302,7 +302,8 @@ def cmd_profile(args) -> int:
     main_fn, cluster, factories = _profile_target(args.figure, args.scale)
     t0 = time.perf_counter()
     report = profile_spmd(main_fn, cluster, module_factories=factories,
-                          out_dir=args.out, engine=args.engine)
+                          out_dir=args.out, engine=args.engine,
+                          shards=args.shards)
     m = report.metrics
     print(f"profiled {args.figure} on {m['nranks']} ranks: "
           f"makespan {m['makespan'] * 1e3:.3f} ms (virtual), "
@@ -313,6 +314,16 @@ def cmd_profile(args) -> int:
     print(f"  {'engine':>10s}: {sim['engine']} — "
           f"{sim['events_processed']} events, "
           f"{sim['events_per_sec'] / 1e3:.0f}k events/s")
+    if "shards" in m:
+        sh = m["shards"]
+        print(f"  {'shards':>10s}: {sh['nshards']} procs, "
+              f"{sh['windows']} windows, "
+              f"{sh['cross_shard_msgs']} cross-shard msgs "
+              f"({sh['cross_shard_bytes']} bytes)")
+        for t in sh["per_shard"]:
+            print(f"  {'shard ' + str(t['shard']):>10s}: "
+                  f"{t['events_processed']} events, "
+                  f"barrier idle {t['idle_wall_s'] * 1e3:.0f} ms wall")
     for ch, rec in sorted(m["comm_volume"].items()):
         print(f"  {ch:>10s}: {int(rec['messages'])} msgs, "
               f"{int(rec['bytes'])} bytes")
@@ -382,7 +393,8 @@ def cmd_verify(args) -> int:
     from repro.tools.schedule import artifact_from_outcome, save_schedule
     from repro.verify import (WORKLOADS, differential,
                               isx_coalescing_differential,
-                              isx_engine_differential, replay_schedule,
+                              isx_engine_differential,
+                              isx_sharded_differential, replay_schedule,
                               run_once)
     from repro.verify.strategies import STRATEGIES
 
@@ -487,6 +499,17 @@ def cmd_verify(args) -> int:
             failures += 1
             print("    " + rep.describe().replace("\n", "\n    "))
 
+        # 3d. sharded differential: the same SPMD ISx run single-shard vs.
+        #     across conservative-window OS-process shards must produce
+        #     identical per-rank digests (the sharded engine's gate).
+        rep = isx_sharded_differential()
+        mark = "OK  " if rep.ok else "FAIL"
+        print(f"  diff:{'isx-shard':<9s}{mark} "
+              f"{'/'.join(r.engine for r in rep.runs)}")
+        if not rep.ok:
+            failures += 1
+            print("    " + rep.describe().replace("\n", "\n    "))
+
     print(f"({failures} failure(s), {time.perf_counter() - t0:.1f}s wall)")
     return 1 if failures else 0
 
@@ -503,9 +526,21 @@ def cmd_run(args) -> int:
     slab/calendar engine — is the default; ``--engine objects`` selects
     the original per-record engine).
     """
+    from repro.util.errors import ConfigError
     from repro.verify import WORKLOADS, run_on_engine
-    from repro.verify.spmd_workloads import run_procs_workload
+    from repro.verify.spmd_workloads import (run_procs_workload,
+                                             run_sharded_workload)
 
+    if args.shards < 1:
+        raise ConfigError(f"--shards must be >= 1, got {args.shards}")
+    if args.shards != 1 and args.backend != "sim":
+        raise ConfigError(
+            f"--shards applies to the sim backend only, not "
+            f"--backend {args.backend} (the procs backend is already one "
+            "process per rank)")
+    if args.shards != 1 and args.engine != "flat":
+        raise ConfigError(
+            f"--shards requires --engine flat, got --engine {args.engine}")
     if args.backend == "procs":
         # Fail before running anything so a typo'd launcher exits cleanly
         # instead of FAILing every app with the same traceback text.
@@ -526,6 +561,11 @@ def cmd_run(args) -> int:
                     app, nranks=args.ranks, launcher=args.launcher,
                     workers_per_rank=args.workers, timeout=args.timeout)
                 extra = f"{res.nranks} ranks via {args.launcher}"
+            elif args.shards > 1:
+                digest, res = run_sharded_workload(
+                    app, nranks=args.ranks, shards=args.shards)
+                extra = (f"{res.nranks} ranks across {args.shards} shards, "
+                         f"{res.windows} windows")
             else:
                 run = run_on_engine(WORKLOADS[app](), engine,
                                     workers=args.workers)
@@ -672,6 +712,10 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--engine", choices=["objects", "flat"],
                       default="flat",
                       help="DES event engine for the instrumented run")
+    prof.add_argument("--shards", type=int, default=1,
+                      help="OS-process shards for the flat engine (1 = "
+                           "single-process; >1 runs the conservative-window "
+                           "sharded engine and reports window telemetry)")
     prof.set_defaults(fn=cmd_profile)
 
     br = sub.add_parser(
@@ -724,10 +768,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="hunt on the known-buggy fixture (expected to FAIL)")
     vf.add_argument("--engines", nargs="+", default=["sim", "threads"],
                     choices=["sim", "flat-sim", "threads", "interleave",
-                             "procs"],
+                             "procs", "sharded"],
                     help="engines for the differential check (flat-sim = "
                          "slab/calendar event engine, procs = multiprocess "
-                         "SPMD backend)")
+                         "SPMD backend, sharded = conservative-window "
+                         "multi-process DES)")
     vf.add_argument("--skip-differential", action="store_true")
     vf.add_argument("--skip-selfcheck", action="store_true",
                     help="skip the planted-race detector self-check")
@@ -748,7 +793,7 @@ def build_parser() -> argparse.ArgumentParser:
     rn.add_argument("--app", default="all",
                     choices=["isx", "uts", "graph500", "all"])
     rn.add_argument("--ranks", type=int, default=4,
-                    help="SPMD ranks (procs backend only)")
+                    help="SPMD ranks (procs backend and sharded sim)")
     rn.add_argument("--workers", type=int, default=2,
                     help="workers per rank (procs) / pool size (sim, "
                          "threads)")
@@ -760,6 +805,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="DES event engine for the sim backend "
                          "(flat is the default; objects = the original "
                          "per-record engine)")
+    rn.add_argument("--shards", type=int, default=1,
+                    help="OS-process shards for the sim backend's flat "
+                         "engine (>1 runs the SPMD twin on the "
+                         "conservative-window sharded engine)")
     rn.add_argument("--timeout", type=float, default=300.0,
                     help="end-to-end timeout per workload (procs), seconds")
     rn.set_defaults(fn=cmd_run)

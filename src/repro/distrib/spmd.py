@@ -168,6 +168,14 @@ def spmd_run(
     config = config or ClusterConfig()
     ex = executor or SimExecutor(trace=config.trace,
                                  task_overhead=config.task_overhead)
+    if getattr(ex, "shards", 1) > 1:
+        # Sharded parallel DES: one flat sub-simulator per OS-process shard,
+        # synchronized by conservative time windows (repro.exec.shards).
+        from repro.exec.shards import sharded_spmd_run
+
+        return sharded_spmd_run(
+            main, config, module_factories=module_factories, executor=ex,
+            fault_injector=fault_injector)
     nranks = config.nranks
     fabric = SimFabric(ex, nranks, config.network,
                        ranks_per_node=config.ranks_per_node,

@@ -73,7 +73,8 @@ class SimExecutor(Executor):
     MAX_HELP_DEPTH = 4000
 
     def __init__(self, *, trace: bool = False, task_overhead: float = 0.0,
-                 selection: str = "heap", engine: str = "flat"):
+                 selection: str = "heap", engine: str = "flat",
+                 shards: int = 1):
         """``task_overhead``: virtual seconds charged per task dispatch
         (models scheduler/dispatch cost; 0 by default, exercised by the
         runtime-overhead ablation bench). ``selection``: ``"heap"`` (default,
@@ -83,13 +84,26 @@ class SimExecutor(Executor):
         gates; slab-allocated events in a calendar queue plus recycled task
         records — see ``docs/sim-internals.md``) or ``"objects"`` (the
         original heapq-of-records engine, kept selectable; the two produce
-        bit-for-bit identical schedules, gated by the verify differential)."""
+        bit-for-bit identical schedules, gated by the verify differential).
+        ``shards``: partition an SPMD run across N OS processes, each driving
+        its own flat sub-simulator, synchronized by conservative time windows
+        (see ``repro.exec.shards``). ``shards=1`` (default) is a strict
+        passthrough — this executor runs everything itself and the attribute
+        is never consulted again."""
         if selection not in ("heap", "scan"):
             raise ConfigError(
                 f"selection must be 'heap' or 'scan', got {selection!r}")
         if engine not in ("objects", "flat"):
             raise ConfigError(
                 f"engine must be 'objects' or 'flat', got {engine!r}")
+        if not isinstance(shards, int) or isinstance(shards, bool):
+            raise ConfigError(f"shards must be an int, got {shards!r}")
+        if shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {shards}")
+        if shards > 1 and engine != "flat":
+            raise ConfigError(
+                f"sharded execution requires engine='flat', got {engine!r}")
+        self.shards = shards
         self._runtimes: List[HiperRuntime] = []
         self._workers: List[WorkerState] = []
         # (runtime id) -> place_id -> (pop_cover: wid->WorkerState,

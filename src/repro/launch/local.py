@@ -14,11 +14,30 @@ import multiprocessing
 from typing import Optional
 
 from repro.launch import Launcher, ProcHandle, register_launcher
+from repro.util.errors import ConfigError
 
 
 def _start_method() -> str:
     methods = multiprocessing.get_all_start_methods()
     return "fork" if "fork" in methods else "spawn"
+
+
+def fork_worker(target, args, *, name: str, rank: int = -1) -> "_MpHandle":
+    """Start a fork-inherited worker process and return its handle.
+
+    The sharded DES engine ships callable mains and module factories to its
+    shard workers by fork inheritance (they need not be picklable), so unlike
+    :class:`LocalLauncher` there is no ``spawn`` fallback: platforms without
+    ``fork`` must run with ``shards=1``.
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise ConfigError(
+            "sharded execution requires the 'fork' start method, which this "
+            "platform does not offer; run with shards=1")
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=target, args=args, name=name, daemon=False)
+    proc.start()
+    return _MpHandle(proc, rank)
 
 
 class _MpHandle(ProcHandle):

@@ -80,6 +80,31 @@ class NetworkModel:
         totalling ``payload_bytes`` of payload."""
         return payload_bytes + self.batch_header_bytes + count * self.msg_header_bytes
 
+    def lookahead(self, topology=None) -> float:
+        """Minimum wire time between ranks on *different* nodes — the
+        conservative-window lookahead of the sharded DES engine.
+
+        Every inter-node message, coalesced or not, is serialized by the
+        sending NIC and again by the receiving NIC (``>= inj_overhead``
+        each — a coalesced envelope is still one message and pays both),
+        plus the one-way wire ``latency``; a ``topology`` adds its minimum
+        extra hop latency between distinct nodes. Nothing sent at virtual
+        time ``t`` can therefore be *delivered* before ``t + lookahead``,
+        which is the bound that makes windowed shard execution safe.
+
+        Raises :class:`ConfigError` when the bound is not strictly positive:
+        a zero lookahead would let cross-shard messages take effect inside
+        the window they were sent in, livelocking the protocol.
+        """
+        extra = topology.min_extra_latency() if topology is not None else 0.0
+        bound = 2.0 * self.inj_overhead + self.latency + extra
+        if not bound > 0.0:
+            raise ConfigError(
+                f"network {self.name!r} reports non-positive lookahead "
+                f"{bound}; the conservative window protocol needs a positive "
+                "minimum wire time (set latency or inj_overhead > 0)")
+        return bound
+
 
 #: Interconnects of the paper's evaluation machines (§III-A). Parameters are
 #: public rough figures for Aries (XC30) and Gemini (XK7); the reproduction

@@ -49,6 +49,40 @@ _HDR = struct.Struct(">I")
 _CONNECT_POLL = 0.01
 
 
+def send_frame(sock: socket.socket, obj: Any) -> int:
+    """Write one length-prefixed pickled frame (the procfabric wire format).
+
+    Shared with the sharded DES engine's coordinator links, which speak the
+    same framing over socketpairs. Returns the frame's payload length.
+    """
+    frame = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HDR.pack(len(frame)) + frame)
+    return len(frame)
+
+
+def recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; None on clean EOF (peer closed)."""
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            return None
+        buf.extend(chunk)
+    return bytes(buf)
+
+
+def recv_frame(sock: socket.socket) -> Any:
+    """Read one length-prefixed pickled frame; None on clean EOF."""
+    hdr = recv_exact(sock, _HDR.size)
+    if hdr is None:
+        return None
+    (length,) = _HDR.unpack(hdr)
+    body = recv_exact(sock, length)
+    if body is None:
+        return None
+    return pickle.loads(body)
+
+
 def _release_pooled_deep(obj: Any, _depth: int = 0) -> None:
     """Release every pooled snapshot reachable inside a wire payload.
 
@@ -356,24 +390,11 @@ class ProcFabric:
             _ = src
 
     def _read_frame(self, conn: socket.socket):
-        hdr = self._read_exact(conn, _HDR.size)
-        if hdr is None:
-            return None
-        (length,) = _HDR.unpack(hdr)
-        body = self._read_exact(conn, length)
-        if body is None:
-            return None
-        return pickle.loads(body)
+        return recv_frame(conn)
 
     @staticmethod
     def _read_exact(conn: socket.socket, n: int):
-        buf = bytearray()
-        while len(buf) < n:
-            chunk = conn.recv(n - len(buf))
-            if not chunk:
-                return None
-            buf.extend(chunk)
-        return bytes(buf)
+        return recv_exact(conn, n)
 
     def _deliver(self, src: int, payload: Any, t: float) -> None:
         sink = self._sink

@@ -34,6 +34,19 @@ class Topology:
             return 0.0
         return max(0, self.hops(a, b) - 1) * self.per_hop_latency
 
+    def min_extra_latency(self) -> float:
+        """Infimum of :meth:`extra_latency` over *distinct* node pairs.
+
+        Feeds :meth:`repro.net.costmodel.NetworkModel.lookahead`: the
+        conservative window protocol needs a lower bound on inter-node wire
+        time, so this must never exceed the true minimum. All three built-in
+        families contain an adjacent (one-hop) pair — extra latency 0 — so
+        the base default is exact for them; a topology whose *closest*
+        distinct pair is more than one hop apart should override this to
+        tighten the sharded engine's lookahead.
+        """
+        return 0.0
+
     def diameter(self, nnodes: int) -> int:
         """Max hop count over all pairs in a machine of ``nnodes``."""
         return max(

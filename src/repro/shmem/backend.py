@@ -472,3 +472,22 @@ class ProcShmemBackend(ShmemBackend):
             self._remote_completed()
             return
         self.mux.transmit(origin, _CHANNEL, ("comp",), _CTRL_SIZE)
+
+
+class ShardShmemBackend(ShmemBackend):
+    """SHMEM backend for the sharded DES engine: a hybrid of the two above.
+
+    PEs in the same shard share a process and registry, so completions for
+    them are signalled directly like :class:`ShmemBackend`; PEs in other
+    shards are reachable only over the fabric, so those acks travel as
+    ``("comp",)`` wire messages like :class:`ProcShmemBackend` — and are
+    therefore priced by the cost model, which keeps them outside the
+    conservative window's lookahead bound.
+    """
+
+    def _ack_completion(self, origin: int) -> None:
+        peer = self._peers.get(origin)
+        if peer is not None:
+            peer._remote_completed()
+            return
+        self.mux.transmit(origin, _CHANNEL, ("comp",), _CTRL_SIZE)

@@ -69,7 +69,8 @@ class DataHandle:
     """A named, versioned datum registered with one :class:`TaskGraph`."""
 
     __slots__ = ("graph", "name", "data", "version", "residence",
-                 "writer", "writer_node", "readers", "run")
+                 "writer", "writer_node", "readers", "run",
+                 "spec_fallback")
 
     def __init__(self, graph: Any, payload: Any, name: str = ""):
         self.graph = graph
@@ -85,6 +86,9 @@ class DataHandle:
         self.writer_node: Optional["TaskNode"] = None
         self.readers: List["Future"] = []
         self.run: Optional[CommuteRun] = None
+        #: the writer superseded by the current one — what a reader that
+        #: speculates past an uncertain writer must still wait for
+        self.spec_fallback: Optional["Future"] = None
 
     @property
     def nbytes(self) -> int:

@@ -306,11 +306,20 @@ class TaskGraph:
             self._close_run(d)
         if d.writer is not None:
             wn = d.writer_node
-            if (spec_on is not None and wn is not None and wn.is_uncertain
+            # Waive only a dependency that is genuinely uncertain *for this
+            # datum*: a node may maybe-write one handle while definitely
+            # writing another, and readers of the latter must wait.
+            if (spec_on is not None and wn is not None
+                    and any(m is d for m in wn.maybe_writes)
                     and not wn.completed
                     and not self.predictor.predict_writes(wn)):
                 if wn not in spec_on:
                     spec_on.append(wn)  # dependency waived: run speculatively
+                if d.spec_fallback is not None:
+                    # Still read-after-write against the state the maybe
+                    # task itself builds on — speculation skips only the
+                    # uncertain writer, never its committed predecessors.
+                    deps.append(d.spec_fallback)
             else:
                 deps.append(d.writer)
         d.readers.append(node.done_promise.get_future())
@@ -322,6 +331,7 @@ class TaskGraph:
         if d.writer is not None:
             deps.append(d.writer)
         deps.extend(d.readers)  # write-after-read ordering
+        d.spec_fallback = d.writer
         d.writer = node.done_promise.get_future()
         d.writer_node = node
         d.readers = []

@@ -96,29 +96,44 @@ def profile_spmd(
     max_samples: int = 2048,
     max_events: int = 1_000_000,
     engine: str = "objects",
+    shards: int = 1,
 ) -> ProfileReport:
     """Run ``main`` under full instrumentation; optionally write artifacts.
 
     With ``out_dir`` set, writes ``<out_dir>/metrics.json`` and
     ``<out_dir>/trace.json`` (Chrome-trace format, loadable in Perfetto or
     ``chrome://tracing``).
+
+    ``shards > 1`` profiles the conservative-window sharded DES engine
+    instead: the run fans out across OS-process shards, so the in-process
+    tracer and telemetry sampler cannot observe it — the report's trace is
+    empty and ``metrics["shards"]`` carries the window-protocol telemetry
+    (windows, horizon, cross-shard traffic, per-shard barrier idle time).
     """
     from repro.distrib.spmd import ClusterConfig, spmd_run
 
     cfg = config or ClusterConfig()
-    ex = SimExecutor(task_overhead=cfg.task_overhead, engine=engine)
+    sharded = shards > 1
+    ex = SimExecutor(task_overhead=cfg.task_overhead,
+                     engine="flat" if sharded else engine, shards=shards)
     tracer = TraceRecorder(max_events=max_events)
-    ex.attach_tracer(tracer)
-
     factories = list(module_factories)
-    factories.append(
-        telemetry_factory(period=sample_period, max_samples=max_samples)
-    )
+    if not sharded:
+        ex.attach_tracer(tracer)
+        factories.append(
+            telemetry_factory(period=sample_period, max_samples=max_samples)
+        )
     t0 = time.perf_counter()
     result = spmd_run(main, cfg, module_factories=factories, executor=ex)
     wall = time.perf_counter() - t0
 
     merged = result.merged_stats()
+    if sharded:
+        events = sum(t["events_processed"] for t in result.shard_counters)
+        sim_engine = f"flat x{shards} shards"
+    else:
+        events = ex.events_processed
+        sim_engine = ex.engine
     metrics: Dict[str, Any] = {
         "makespan": result.makespan,
         "nranks": result.nranks,
@@ -131,12 +146,20 @@ def profile_spmd(
         # time (the per-tick instantaneous rate is in the sampler's
         # ``events_per_sec`` series / ``sim.*`` gauges).
         "sim": {
-            "engine": ex.engine,
-            "events_processed": ex.events_processed,
-            "events_per_sec": ex.events_processed / wall if wall > 0 else 0.0,
+            "engine": sim_engine,
+            "events_processed": events,
+            "events_per_sec": events / wall if wall > 0 else 0.0,
         },
         "stats": merged.to_dict(),
     }
+    if sharded:
+        metrics["shards"] = {
+            "nshards": result.nshards,
+            "windows": result.windows,
+            "cross_shard_msgs": result.counters["shards.cross_shard_msgs"],
+            "cross_shard_bytes": result.counters["shards.cross_shard_bytes"],
+            "per_shard": result.shard_counters,
+        }
 
     report = ProfileReport(result=result, tracer=tracer, metrics=metrics)
     if out_dir is not None:

@@ -24,12 +24,14 @@ from repro.verify.differential import (
     differential,
     isx_coalescing_differential,
     isx_engine_differential,
+    isx_sharded_differential,
     run_on_engine,
     taskgraph_differential,
 )
 from repro.verify.spmd_workloads import (
     SPMD_WORKLOADS,
     run_procs_workload,
+    run_sharded_workload,
 )
 from repro.verify.harness import (
     HuntOutcome,
@@ -60,10 +62,12 @@ __all__ = [
     "differential",
     "isx_coalescing_differential",
     "isx_engine_differential",
+    "isx_sharded_differential",
     "run_on_engine",
     "taskgraph_differential",
     "SPMD_WORKLOADS",
     "run_procs_workload",
+    "run_sharded_workload",
     "HuntOutcome",
     "HuntResult",
     "hunt",

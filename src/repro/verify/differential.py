@@ -350,6 +350,56 @@ def isx_engine_differential(
     return rep
 
 
+def isx_sharded_differential(
+    nodes: int = 4,
+    *,
+    shards: int = 2,
+    platform: str = "titan",
+    variant: str = "flat",
+) -> DifferentialReport:
+    """The sharded DES engine's gate: the same SPMD ISx run single-shard and
+    with ``shards=N`` sub-simulator processes must produce identical per-rank
+    output digests.
+
+    Unlike :func:`isx_engine_differential`, makespans are *not* compared:
+    receiver-NIC contention is resolved against shard-local send
+    interleavings, so cross-shard virtual times legitimately differ from the
+    global single-engine schedule (the same caveat the procs backend
+    documents). Results — the data every rank computes — must not.
+    """
+    from repro.apps.isx import IsxConfig, isx_main, validate_isx
+    from repro.bench.harness import cluster_for
+    from repro.distrib import spmd_run
+    from repro.shmem import shmem_factory
+
+    cfg = IsxConfig(keys_per_pe=1 << 10, byte_scale=1 << 7)
+    rep = DifferentialReport(workload="isx-sharded")
+    for label, nshards in (("flat", 1), (f"sharded-{shards}", shards)):
+        res = spmd_run(
+            isx_main(variant, cfg),
+            cluster_for(platform, nodes, layout="flat"),
+            module_factories=[shmem_factory(direct=True)],
+            executor=SimExecutor(engine="flat", shards=nshards),
+        )
+        validate_isx(cfg, res.nranks, res.results)
+        digest = tuple(
+            hashlib.sha256(np.asarray(r).tobytes()).hexdigest()
+            for r in res.results
+        )
+        rep.runs.append(EngineRun(
+            engine=label,
+            result=("isx-sharded", res.nranks, digest),
+            invariants=InvariantReport(),
+        ))
+    baseline = rep.runs[0]
+    for run in rep.runs[1:]:
+        if run.result != baseline.result:
+            rep.mismatches.append(
+                f"{run.engine} result != {baseline.engine} "
+                "(sharded engine diverged from the single-shard flat engine)")
+    return rep
+
+
 def taskgraph_differential(
     engines: Sequence[str] = ("sim", "threads"),
     *,
@@ -408,6 +458,23 @@ def _run_on_procs(workload_name: str, *, workers: int, seed: int,
                      invariants=InvariantReport())
 
 
+def _run_on_sharded(workload_name: str, *, seed: int, nranks: int = 4,
+                    shards: int = 2) -> EngineRun:
+    """Run the SPMD twin of a workload on the sharded DES engine.
+
+    Same digest-compatibility argument as :func:`_run_on_procs`: the SPMD
+    twins are constructed so their combined digest equals the single-runtime
+    digest, which puts the window protocol, the cross-shard fabric, and the
+    shard shmem backend into the same comparison as every other engine.
+    """
+    from repro.verify.spmd_workloads import run_sharded_workload
+
+    digest, _res = run_sharded_workload(
+        workload_name, nranks=nranks, shards=shards, seed=seed)
+    return EngineRun(engine="sharded", result=digest,
+                     invariants=InvariantReport())
+
+
 def differential(
     workload_name: str,
     engines: Sequence[str] = ("sim", "threads"),
@@ -430,12 +497,26 @@ def differential(
             f"choose from {sorted(WORKLOADS)}") from None
     rep = DifferentialReport(workload=workload_name)
     for engine in engines:
-        if engine == "procs":
-            rep.runs.append(_run_on_procs(
-                workload_name, workers=workers, seed=seed))
+        if engine in ("procs", "sharded"):
+            # These engines run the workload's SPMD twin; workloads without
+            # one (isx-dag, which has its own taskgraph_differential gate)
+            # are compared across the single-runtime engines only.
+            from repro.verify.spmd_workloads import SPMD_WORKLOADS
+            if workload_name not in SPMD_WORKLOADS:
+                continue
+            if engine == "procs":
+                rep.runs.append(_run_on_procs(
+                    workload_name, workers=workers, seed=seed))
+            else:
+                rep.runs.append(_run_on_sharded(workload_name, seed=seed))
             continue
         rep.runs.append(run_on_engine(
             factory(), engine, workers=workers, seed=seed, strategy=strategy))
+    if not rep.runs:
+        rep.mismatches.append(
+            f"no engine in {tuple(engines)!r} can run workload "
+            f"{workload_name!r} (no SPMD twin)")
+        return rep
     baseline = rep.runs[0]
     for run in rep.runs[1:]:
         if run.result != baseline.result:

@@ -57,6 +57,7 @@ __all__ = [
     "uts_combine",
     "graph500_combine",
     "run_procs_workload",
+    "run_sharded_workload",
 ]
 
 
@@ -296,5 +297,45 @@ def run_procs_workload(
         factory_path, kwargs=dict(cfg_kwargs or {}), nranks=nranks,
         launcher=launcher, workers_per_rank=workers_per_rank,
         timeout=timeout, block_timeout=block_timeout, seed=seed,
+    )
+    return combine(res.results), res
+
+
+def run_sharded_workload(
+    name: str,
+    *,
+    nranks: int = 4,
+    shards: int = 2,
+    seed: int = 0,
+    cfg_kwargs: Optional[Dict[str, Any]] = None,
+):
+    """Run one named workload on the sharded DES engine
+    (``SimExecutor(engine="flat", shards=N)``).
+
+    Returns ``(digest, ShardedSpmdResult)``; the digest is comparable with
+    the single-runtime differential workloads' and the flat engine's.
+    Ranks map one per node — shard partitions are node-aligned, so this
+    keeps any shard count up to ``nranks`` valid.
+    """
+    import importlib
+
+    from repro.distrib.spmd import ClusterConfig, spmd_run
+    from repro.exec.sim import SimExecutor
+    from repro.shmem import shmem_factory
+    from repro.verify.strategies import VerificationError
+
+    try:
+        factory_path, combine = SPMD_WORKLOADS[name]
+    except KeyError:
+        raise VerificationError(
+            f"unknown SPMD workload {name!r}; "
+            f"choose from {sorted(SPMD_WORKLOADS)}") from None
+    mod_name, _, fn_name = factory_path.partition(":")
+    factory = getattr(importlib.import_module(mod_name), fn_name)
+    cfg = ClusterConfig(nodes=nranks, ranks_per_node=1, seed=seed)
+    res = spmd_run(
+        factory(**dict(cfg_kwargs or {})), cfg,
+        module_factories=[shmem_factory(direct=True)],
+        executor=SimExecutor(engine="flat", shards=shards),
     )
     return combine(res.results), res
